@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Application-level wins (Figs 12-13, §8): gaming, the web, and money.
+
+Shows what a 3x latency reduction buys at the application layer:
+thin-client gaming frame times with speculative execution, web page
+load times, and the paper's value-per-GB arithmetic.
+
+Run:  python examples/gaming_and_web.py
+"""
+
+import numpy as np
+
+from repro.apps import (
+    all_estimates,
+    compare_corpus,
+    fat_client_latency_ms,
+    simulate_thin_client,
+    synthesize_pages,
+)
+
+
+def main() -> None:
+    print("Thin-client gaming (Fig 12): frame time vs conventional latency")
+    print("  latency  conventional  with cISP augmentation")
+    for lat in (50, 100, 200, 300):
+        conv = simulate_thin_client(lat, use_augmentation=False)
+        aug = simulate_thin_client(lat, use_augmentation=True)
+        print(
+            f"  {lat:4d} ms  {conv.mean_frame_time_ms:9.0f} ms  "
+            f"{aug.mean_frame_time_ms:9.0f} ms "
+            f"(speculation hit rate {aug.speculation_hit_rate:.0%})"
+        )
+    print(f"  fat client: a 90 ms action RTT becomes "
+          f"{fat_client_latency_ms(90.0):.0f} ms\n")
+
+    print("Web browsing (Fig 13): 80 synthetic pages, RTT x 0.33")
+    cmp = compare_corpus(synthesize_pages(80))
+    print(f"  median PLT: {np.median(cmp.baseline_plts):.0f} ms -> "
+          f"{np.median(cmp.cisp_plts):.0f} ms "
+          f"({cmp.median_plt_reduction('cisp'):.0%} faster; paper: 31%)")
+    print(f"  selective (client->server only, "
+          f"{cmp.upstream_byte_fraction:.1%} of bytes): "
+          f"{cmp.median_plt_reduction('selective'):.0%} faster")
+    print(f"  object load times: {cmp.median_olt_reduction():.0%} faster; "
+          f"small objects {cmp.median_olt_reduction(small_only=True):.0%}\n")
+
+    print("Cost-benefit (§8): value per GB vs cISP's ~$0.81/GB cost")
+    for est in all_estimates():
+        print(
+            f"  {est.label:11s} ${est.low_usd_per_gb:5.2f} - "
+            f"${est.high_usd_per_gb:5.2f} per GB "
+            f"-> {'justifies' if est.exceeds_cost(0.81) else 'fails'} the network"
+        )
+
+
+if __name__ == "__main__":
+    main()

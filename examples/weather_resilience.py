@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Weather resilience (Fig 7): a year of storms over a designed network.
+
+Designs a mid-size US network, then replays a synthetic year of
+precipitation against it: every sampled interval, hops whose ITU-R
+P.838 rain attenuation exceeds the fade margin fail, their links drop
+out, and traffic reroutes over surviving microwave + fiber.  Prints the
+Fig 7 stretch distributions.
+
+Run:  python examples/weather_resilience.py
+"""
+
+import numpy as np
+
+from repro import solve_heuristic, us_scenario
+from repro.weather import (
+    PrecipitationYear,
+    path_attenuation_db,
+    yearly_stretch_analysis,
+)
+
+
+def main() -> None:
+    print("Rain physics at 11 GHz (ITU-R P.838):")
+    for rain in (5, 20, 50, 100):
+        att = path_attenuation_db(50.0, rain)
+        status = "FAILS" if att > 30 else "holds"
+        print(f"  50 km hop in {rain:3d} mm/h rain: {att:5.1f} dB -> link {status}")
+
+    print("\nDesigning a 40-city network (1,500-tower budget)...")
+    scenario = us_scenario(n_sites=40)
+    topology = solve_heuristic(
+        scenario.design_input(), 1_500, ilp_refinement=False
+    ).topology
+    print(f"  {len(topology.mw_links)} MW links")
+
+    print("Replaying a year of synthetic storms (365 intervals)...")
+    result = yearly_stretch_analysis(
+        topology,
+        scenario.catalog,
+        scenario.registry,
+        precipitation=PrecipitationYear(seed=2015),
+        n_intervals=365,
+    )
+    for label, values in (
+        ("fair-weather best", result.best),
+        ("99th percentile  ", result.p99),
+        ("worst of the year", result.worst),
+        ("fiber-only       ", result.fiber),
+    ):
+        print(
+            f"  {label}: median stretch {np.median(values):.3f}, "
+            f"p95 {np.percentile(values, 95):.3f}"
+        )
+    frac = (result.links_failed_per_interval > 0).mean()
+    print(f"  intervals with any link down: {frac:.0%}; "
+          f"worst interval lost {result.links_failed_per_interval.max()} links")
+    print("  => even the worst-case latencies stay far below fiber "
+          "(the paper's Fig 7 conclusion)")
+
+
+if __name__ == "__main__":
+    main()

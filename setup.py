@@ -1,0 +1,20 @@
+"""Setup shim for environments whose setuptools predates PEP 660.
+
+``pip install -e .`` on modern toolchains uses pyproject.toml directly;
+older offline environments fall back to this file.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "cISP: A Speed-of-Light Internet Service Provider - "
+        "full reproduction (NSDI 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9", "networkx>=2.8"],
+)

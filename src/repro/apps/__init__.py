@@ -1,0 +1,65 @@
+"""Application-level models: gaming, web browsing, cost-benefit."""
+
+from .econ import (
+    ValueEstimate,
+    all_estimates,
+    ecommerce_value,
+    gaming_value,
+    value_summary,
+    web_search_value,
+)
+from .integration import (
+    DEFAULT_CLASSES,
+    Allocation,
+    FastPathPlan,
+    TrafficClass,
+    breakeven_capacity_gbps,
+    plan_fast_path,
+)
+from .gaming import (
+    DIRECTIONS,
+    FrameTimeStats,
+    PacmanState,
+    fat_client_latency_ms,
+    frame_time_curve,
+    simulate_thin_client,
+)
+from .web import (
+    CorpusComparison,
+    LoadResult,
+    WebObject,
+    WebPage,
+    compare_corpus,
+    load_page,
+    synthesize_page,
+    synthesize_pages,
+)
+
+__all__ = [
+    "DEFAULT_CLASSES",
+    "Allocation",
+    "FastPathPlan",
+    "TrafficClass",
+    "breakeven_capacity_gbps",
+    "plan_fast_path",
+    "ValueEstimate",
+    "all_estimates",
+    "ecommerce_value",
+    "gaming_value",
+    "value_summary",
+    "web_search_value",
+    "DIRECTIONS",
+    "FrameTimeStats",
+    "PacmanState",
+    "fat_client_latency_ms",
+    "frame_time_curve",
+    "simulate_thin_client",
+    "CorpusComparison",
+    "LoadResult",
+    "WebObject",
+    "WebPage",
+    "compare_corpus",
+    "load_page",
+    "synthesize_page",
+    "synthesize_pages",
+]

@@ -1,0 +1,166 @@
+"""Online-gaming latency models (paper §7.1, Fig 12).
+
+Two client models:
+
+* *fat client* — gameplay traffic is tiny (a few Kbps) and entirely
+  latency-bound; routing it over cISP cuts latency by the network's
+  stretch advantage (3-4x against today's Internet).
+* *thin client* — the server streams frames; the paper evaluates a
+  speculative-execution scheme (after Outatime): the server pre-sends
+  frames for all four possible moves over cheap fiber, and a tiny
+  "which scenario happened" message travels over the low-latency
+  network.  Frame time then tracks the *fast* path's RTT, not fiber's.
+
+The tick simulator below plays a toy multi-player Pacman variant, as in
+the paper, and measures frame time (input -> observed output) as
+conventional latency grows, with and without the low-latency
+augmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The four speculated movement directions of the paper's Pacman toy.
+DIRECTIONS = ("up", "down", "left", "right")
+
+#: The low-latency path's latency relative to conventional (paper: 1/3).
+DEFAULT_FAST_FRACTION = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class FrameTimeStats:
+    """Frame-time measurement for one configuration.
+
+    Attributes:
+        conventional_latency_ms: one-way latency of the conventional
+            (fiber Internet) path.
+        mean_frame_time_ms / p95_frame_time_ms: observed frame times.
+        speculation_hit_rate: fraction of inputs whose next frame was
+            already speculatively delivered.
+    """
+
+    conventional_latency_ms: float
+    mean_frame_time_ms: float
+    p95_frame_time_ms: float
+    speculation_hit_rate: float
+
+
+@dataclass
+class PacmanState:
+    """Toy multi-player Pacman: a grid walk with collectible pellets."""
+
+    width: int = 20
+    height: int = 20
+    x: int = 10
+    y: int = 10
+    score: int = 0
+
+    def apply(self, direction: str) -> "PacmanState":
+        """The next state after moving in ``direction`` (toroidal grid)."""
+        dx, dy = {
+            "up": (0, -1),
+            "down": (0, 1),
+            "left": (-1, 0),
+            "right": (1, 0),
+        }[direction]
+        nx = (self.x + dx) % self.width
+        ny = (self.y + dy) % self.height
+        # A pellet sits on every third cell; deterministic scoring keeps
+        # speculated and authoritative states comparable.
+        gained = 1 if (nx + ny) % 3 == 0 else 0
+        return PacmanState(
+            width=self.width, height=self.height, x=nx, y=ny, score=self.score + gained
+        )
+
+
+def simulate_thin_client(
+    conventional_latency_ms: float,
+    fast_fraction: float = DEFAULT_FAST_FRACTION,
+    use_augmentation: bool = True,
+    n_inputs: int = 500,
+    processing_ms: float = 25.0,
+    render_ms: float = 8.0,
+    seed: int = 0,
+) -> FrameTimeStats:
+    """Tick-simulate the speculative thin client.
+
+    Without augmentation the frame time is a full conventional RTT plus
+    processing/render.  With augmentation the server pre-computes the
+    four possible next frames and ships them over fiber *ahead of the
+    input*; the input and the scenario-selection message ride the fast
+    path, so the observed frame time is a fast-path RTT plus render —
+    unless speculation missed (the frame data hasn't arrived yet), which
+    falls back to the conventional path.
+    """
+    if conventional_latency_ms < 0:
+        raise ValueError("latency must be non-negative")
+    if not 0 < fast_fraction <= 1:
+        raise ValueError("fast fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    state = PacmanState()
+    fast_latency = conventional_latency_ms * fast_fraction
+    frame_times = []
+    hits = 0
+    # The server speculates far enough ahead (one conventional RTT of
+    # ticks) that frame data for every possible input is already
+    # buffered at the client; only occasional state divergences
+    # (multi-player interactions the per-direction speculation cannot
+    # cover) force a conventional-path resync.
+    miss_probability = 0.04
+    for _ in range(n_inputs):
+        direction = DIRECTIONS[int(rng.integers(4))]
+        next_state = state.apply(direction)
+        if use_augmentation:
+            if rng.random() >= miss_probability:
+                # Input up (fast) + scenario id down (fast) + render.
+                frame_time = 2 * fast_latency + render_ms
+                hits += 1
+            else:
+                # Miss: resync over the conventional path.
+                frame_time = 2 * fast_latency + conventional_latency_ms + render_ms
+        else:
+            frame_time = (
+                2 * conventional_latency_ms + processing_ms + render_ms
+            )
+        # Server-side processing jitter.
+        frame_time += float(rng.uniform(0.0, 4.0))
+        frame_times.append(frame_time)
+        state = next_state
+    ft = np.array(frame_times)
+    return FrameTimeStats(
+        conventional_latency_ms=conventional_latency_ms,
+        mean_frame_time_ms=float(ft.mean()),
+        p95_frame_time_ms=float(np.percentile(ft, 95)),
+        speculation_hit_rate=hits / n_inputs if use_augmentation else 0.0,
+    )
+
+
+def frame_time_curve(
+    latencies_ms,
+    use_augmentation: bool,
+    fast_fraction: float = DEFAULT_FAST_FRACTION,
+    seed: int = 0,
+) -> list[FrameTimeStats]:
+    """Fig 12: frame time vs conventional latency, one point per value."""
+    return [
+        simulate_thin_client(
+            float(lat),
+            fast_fraction=fast_fraction,
+            use_augmentation=use_augmentation,
+            seed=seed,
+        )
+        for lat in latencies_ms
+    ]
+
+
+def fat_client_latency_ms(
+    conventional_rtt_ms: float, fast_fraction: float = DEFAULT_FAST_FRACTION
+) -> float:
+    """Fat-client action latency over cISP: the full RTT shrinks to the
+    fast path's (all gameplay bytes fit in the low-latency network)."""
+    if conventional_rtt_ms < 0:
+        raise ValueError("RTT must be non-negative")
+    return conventional_rtt_ms * fast_fraction

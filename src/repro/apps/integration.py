@@ -1,0 +1,148 @@
+"""Internet-integration planning (paper §6.6).
+
+A cISP is bandwidth-scarce: an adopting ISP or content provider must
+decide *which* traffic rides the fast path.  The paper sketches the
+deployment modes (CDN back-office, content-provider WANs, gaming
+networks, access-ISP fast-path SLAs) and notes ISPs "may use heuristics
+to classify latency-sensitive traffic and transit it using cISP".
+
+This module makes that concrete: traffic classes with volumes and
+latency-value densities, and a planner that fills the cISP's capacity
+in value order (the fractional-knapsack optimum for divisible traffic).
+Default classes follow the paper's §7/§8 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One class of candidate fast-path traffic.
+
+    Attributes:
+        name: label ("gaming", "web-requests", ...).
+        volume_gbps: how much of it there is.
+        value_per_gb: dollar value per GB of moving it to the fast path
+            (from latency sensitivity, per §8's methodology).
+        latency_sensitive: classes that gain nothing stay off the fast
+            path no matter how much capacity is spare.
+    """
+
+    name: str
+    volume_gbps: float
+    value_per_gb: float
+    latency_sensitive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.volume_gbps < 0:
+            raise ValueError("volume must be non-negative")
+        if self.value_per_gb < 0:
+            raise ValueError("value must be non-negative")
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A class's share of the fast path."""
+
+    traffic_class: TrafficClass
+    admitted_gbps: float
+
+    @property
+    def fraction_admitted(self) -> float:
+        if self.traffic_class.volume_gbps == 0:
+            return 0.0
+        return self.admitted_gbps / self.traffic_class.volume_gbps
+
+
+@dataclass(frozen=True)
+class FastPathPlan:
+    """The planner's output.
+
+    Attributes:
+        allocations: per-class admitted volumes, in admission order.
+        capacity_gbps: the fast path's capacity.
+        value_per_year_usd: total yearly value of the admitted traffic.
+    """
+
+    allocations: tuple[Allocation, ...]
+    capacity_gbps: float
+    value_per_year_usd: float
+
+    def admitted_gbps(self) -> float:
+        return sum(a.admitted_gbps for a in self.allocations)
+
+
+#: §7/§8-derived default classes for a US-scale deployment.
+DEFAULT_CLASSES: tuple[TrafficClass, ...] = (
+    TrafficClass("gaming", volume_gbps=27.0, value_per_gb=3.7),
+    TrafficClass("web-requests", volume_gbps=40.0, value_per_gb=3.26),
+    TrafficClass("search", volume_gbps=12.0, value_per_gb=1.84),
+    TrafficClass("rtb-and-finance", volume_gbps=5.0, value_per_gb=8.0),
+    TrafficClass("video-streaming", volume_gbps=400.0, value_per_gb=0.02,
+                 latency_sensitive=False),
+    TrafficClass("bulk-transfer", volume_gbps=300.0, value_per_gb=0.0,
+                 latency_sensitive=False),
+)
+
+_SECONDS_PER_YEAR = 365.25 * 86_400
+
+
+def plan_fast_path(
+    capacity_gbps: float,
+    classes: tuple[TrafficClass, ...] = DEFAULT_CLASSES,
+    min_value_per_gb: float = 0.0,
+) -> FastPathPlan:
+    """Fill the fast path in value order (fractional knapsack).
+
+    Args:
+        capacity_gbps: cISP capacity available for this deployment.
+        classes: candidate traffic classes.
+        min_value_per_gb: admission floor — traffic worth less than this
+            per GB is left on the regular Internet even if capacity
+            remains (it should not crowd out future high-value traffic).
+    """
+    if capacity_gbps <= 0:
+        raise ValueError("capacity must be positive")
+    eligible = [
+        c
+        for c in classes
+        if c.latency_sensitive and c.value_per_gb >= min_value_per_gb
+    ]
+    ranked = sorted(eligible, key=lambda c: -c.value_per_gb)
+    remaining = capacity_gbps
+    allocations = []
+    yearly_value = 0.0
+    for cls in ranked:
+        admitted = min(cls.volume_gbps, remaining)
+        if admitted <= 0:
+            allocations.append(Allocation(traffic_class=cls, admitted_gbps=0.0))
+            continue
+        remaining -= admitted
+        gb_per_year = admitted / 8.0 * _SECONDS_PER_YEAR
+        yearly_value += gb_per_year * cls.value_per_gb
+        allocations.append(Allocation(traffic_class=cls, admitted_gbps=admitted))
+    return FastPathPlan(
+        allocations=tuple(allocations),
+        capacity_gbps=capacity_gbps,
+        value_per_year_usd=yearly_value,
+    )
+
+
+def breakeven_capacity_gbps(
+    network_cost_usd_per_gb: float,
+    classes: tuple[TrafficClass, ...] = DEFAULT_CLASSES,
+) -> float:
+    """Largest capacity at which the *marginal* admitted GB still pays.
+
+    Capacity beyond the total volume of classes whose value exceeds the
+    network's cost per GB would carry traffic that loses money.
+    """
+    if network_cost_usd_per_gb < 0:
+        raise ValueError("cost must be non-negative")
+    return sum(
+        c.volume_gbps
+        for c in classes
+        if c.latency_sensitive and c.value_per_gb > network_cost_usd_per_gb
+    )

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``design``  — design a cISP for a scenario and print the summary
+  (optionally the ASCII map).
+* ``sweep``   — budget sweep (the Fig 4a curve) for a scenario.
+* ``weather`` — yearly weather analysis for a designed network.
+* ``econ``    — the §8 value-per-GB table.
+
+Examples::
+
+    python -m repro design --scenario us --sites 30 --budget 1000 --map
+    python -m repro sweep --scenario us --sites 40 --max-budget 3000
+    python -m repro weather --sites 30 --budget 1000 --intervals 120
+    python -m repro econ --cost-per-gb 0.81
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _get_scenario(name: str, sites: int):
+    from .scenarios import europe_scenario, interdc_scenario, us_scenario
+
+    if name == "us":
+        return us_scenario(n_sites=sites)
+    if name == "europe":
+        return europe_scenario()
+    if name == "interdc":
+        return interdc_scenario()
+    raise SystemExit(f"unknown scenario {name!r} (us, europe, interdc)")
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from .core import design_network
+    from .viz import render_topology
+
+    scenario = _get_scenario(args.scenario, args.sites)
+    result = design_network(
+        scenario.design_input(),
+        budget_towers=args.budget,
+        aggregate_gbps=args.gbps,
+        catalog=scenario.catalog,
+        registry=scenario.registry,
+        ilp_refinement=False,
+    )
+    print(f"scenario:        {scenario.name} ({scenario.n_sites} sites)")
+    print(f"budget:          {args.budget:.0f} towers "
+          f"({result.towers_used:.0f} used)")
+    print(f"MW links:        {result.mw_link_count}")
+    print(f"mean stretch:    {result.mean_stretch:.4f} "
+          f"(fiber: {result.fiber_mean_stretch:.3f})")
+    if result.cost_per_gb_usd is not None:
+        print(f"cost per GB:     ${result.cost_per_gb_usd:.2f} "
+              f"at {args.gbps:.0f} Gbps")
+    if args.map:
+        print()
+        print(render_topology(result.topology, result.augmentation))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core import greedy_sequence
+
+    scenario = _get_scenario(args.scenario, args.sites)
+    steps = greedy_sequence(scenario.design_input(), args.max_budget)
+    print("budget_towers  mean_stretch  links")
+    n_points = max(args.points, 2)
+    for budget in np.linspace(0, args.max_budget, n_points):
+        prefix = [s for s in steps if s.cumulative_cost <= budget]
+        if prefix:
+            print(f"{budget:13.0f}  {prefix[-1].mean_stretch:12.4f}  {len(prefix):5d}")
+    return 0
+
+
+def _cmd_weather(args: argparse.Namespace) -> int:
+    from .core import solve_heuristic
+    from .scenarios import us_scenario
+    from .weather import yearly_stretch_analysis
+
+    scenario = us_scenario(n_sites=args.sites)
+    topology = solve_heuristic(
+        scenario.design_input(), args.budget, ilp_refinement=False
+    ).topology
+    result = yearly_stretch_analysis(
+        topology, scenario.catalog, scenario.registry, n_intervals=args.intervals
+    )
+    print("series  median  p95")
+    for label, values in (
+        ("best", result.best),
+        ("p99", result.p99),
+        ("worst", result.worst),
+        ("fiber", result.fiber),
+    ):
+        print(f"{label:6s}  {np.median(values):.3f}  "
+              f"{np.percentile(values, 95):.3f}")
+    return 0
+
+
+def _cmd_econ(args: argparse.Namespace) -> int:
+    from .apps import all_estimates
+
+    print(f"network cost: ${args.cost_per_gb:.2f}/GB")
+    print("scenario      low_$per_GB  high_$per_GB  justifies")
+    for est in all_estimates():
+        print(
+            f"{est.label:12s}  {est.low_usd_per_gb:11.2f}  "
+            f"{est.high_usd_per_gb:12.2f}  {est.exceeds_cost(args.cost_per_gb)}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="cISP (NSDI 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("design", help="design a cISP network")
+    p.add_argument("--scenario", default="us")
+    p.add_argument("--sites", type=int, default=30)
+    p.add_argument("--budget", type=float, default=1000.0)
+    p.add_argument("--gbps", type=float, default=100.0)
+    p.add_argument("--map", action="store_true", help="print the ASCII map")
+    p.set_defaults(func=_cmd_design)
+
+    p = sub.add_parser("sweep", help="budget sweep (Fig 4a)")
+    p.add_argument("--scenario", default="us")
+    p.add_argument("--sites", type=int, default=30)
+    p.add_argument("--max-budget", type=float, default=3000.0)
+    p.add_argument("--points", type=int, default=10)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("weather", help="yearly weather analysis (Fig 7)")
+    p.add_argument("--sites", type=int, default=30)
+    p.add_argument("--budget", type=float, default=1000.0)
+    p.add_argument("--intervals", type=int, default=120)
+    p.set_defaults(func=_cmd_weather)
+
+    p = sub.add_parser("econ", help="cost-benefit table (§8)")
+    p.add_argument("--cost-per-gb", type=float, default=0.81)
+    p.set_defaults(func=_cmd_econ)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""The paper's cost model (§2) and cost-per-GB computation.
+
+Constants (paper §2):
+
+* installing a bidirectional MW link *on existing towers* costs ~$75K
+  for 500 Mbps and ~$150K for 1 Gbps, per tower-to-tower hop;
+* building a new tower costs ~$100K on average;
+* the dominant operational expense is tower rent, $25-50K/year/tower;
+* cost per GB amortizes build + 5 years of operation over 5 years of
+  carried traffic at the provisioned aggregate rate.
+
+The paper reports $0.81/GB for the 1.05x-stretch, 100 Gbps US network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Seconds in the 5-year amortization window.
+SECONDS_PER_YEAR = 365.25 * 86_400
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost constants, defaulting to the paper's estimates.
+
+    Attributes:
+        link_cost_1gbps_usd: radio equipment + install per hop per
+            1 Gbps series, on existing towers.
+        link_cost_500mbps_usd: the half-bandwidth variant.
+        new_tower_cost_usd: average cost of constructing a tower.
+        tower_rent_usd_per_year: rent per tower per year ($25-50K range;
+            the midpoint is the default).
+        amortization_years: period over which costs are amortized.
+    """
+
+    link_cost_1gbps_usd: float = 150_000.0
+    link_cost_500mbps_usd: float = 75_000.0
+    new_tower_cost_usd: float = 100_000.0
+    tower_rent_usd_per_year: float = 37_500.0
+    amortization_years: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.amortization_years <= 0:
+            raise ValueError("amortization period must be positive")
+        for field_name in (
+            "link_cost_1gbps_usd",
+            "link_cost_500mbps_usd",
+            "new_tower_cost_usd",
+            "tower_rent_usd_per_year",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+    def capex_usd(self, n_hop_series: int, n_new_towers: int) -> float:
+        """Build cost: radio hops (1 Gbps class) plus new towers.
+
+        Args:
+            n_hop_series: total tower-to-tower radio hops, counting each
+                parallel series separately.
+            n_new_towers: towers that must be newly constructed.
+        """
+        return (
+            n_hop_series * self.link_cost_1gbps_usd
+            + n_new_towers * self.new_tower_cost_usd
+        )
+
+    def opex_usd(self, n_rented_towers: int) -> float:
+        """Total rent over the amortization period."""
+        return n_rented_towers * self.tower_rent_usd_per_year * self.amortization_years
+
+    def total_usd(
+        self, n_hop_series: int, n_new_towers: int, n_rented_towers: int
+    ) -> float:
+        """Capex plus amortization-period opex."""
+        return self.capex_usd(n_hop_series, n_new_towers) + self.opex_usd(
+            n_rented_towers
+        )
+
+    def gb_carried(self, aggregate_gbps: float, utilization: float = 1.0) -> float:
+        """GB moved over the amortization period at the given rate."""
+        if aggregate_gbps <= 0:
+            raise ValueError("aggregate throughput must be positive")
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        seconds = self.amortization_years * SECONDS_PER_YEAR
+        return aggregate_gbps * utilization / 8.0 * seconds
+
+    def cost_per_gb(
+        self,
+        n_hop_series: int,
+        n_new_towers: int,
+        n_rented_towers: int,
+        aggregate_gbps: float,
+        utilization: float = 1.0,
+    ) -> float:
+        """Amortized cost per gigabyte carried."""
+        return self.total_usd(
+            n_hop_series, n_new_towers, n_rented_towers
+        ) / self.gb_carried(aggregate_gbps, utilization)

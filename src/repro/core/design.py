@@ -1,0 +1,114 @@
+"""End-to-end network design: Steps 1-3 plus costing (paper §3, §4).
+
+:func:`design_network` is the library's front door: given a scenario's
+:class:`~repro.core.topology.DesignInput` (plus the link catalog and
+tower registry for capacity augmentation), it runs the cISP heuristic,
+provisions capacity for a target aggregate throughput, and applies the
+cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..links.builder import LinkCatalog
+from ..towers.registry import TowerRegistry
+from .augmentation import AugmentationResult, augment_capacity
+from .costs import CostModel
+from .heuristic import HeuristicResult, solve_heuristic
+from .topology import DesignInput, Topology, fiber_only_topology
+
+
+@dataclass(frozen=True)
+class DesignResult:
+    """A fully designed, provisioned, and costed cISP network.
+
+    Attributes:
+        topology: the chosen MW links over fiber.
+        mean_stretch: traffic-weighted mean latency stretch.
+        fiber_mean_stretch: the all-fiber baseline stretch.
+        heuristic: the raw optimizer output (greedy trace etc.).
+        augmentation: capacity provisioning (None when no throughput
+            target was given).
+        cost_per_gb_usd: amortized $/GB (None without a throughput
+            target).
+    """
+
+    topology: Topology
+    mean_stretch: float
+    fiber_mean_stretch: float
+    heuristic: HeuristicResult
+    augmentation: AugmentationResult | None
+    cost_per_gb_usd: float | None
+
+    @property
+    def mw_link_count(self) -> int:
+        return len(self.topology.mw_links)
+
+    @property
+    def towers_used(self) -> float:
+        return self.topology.total_cost_towers
+
+    def stretch_percentiles(self, percentiles=(50, 90, 99)) -> dict[int, float]:
+        """Unweighted per-pair stretch percentiles of the design."""
+        s = self.topology.stretch_matrix()
+        vals = s[np.isfinite(s)]
+        return {int(p): float(np.percentile(vals, p)) for p in percentiles}
+
+
+def design_network(
+    design_input: DesignInput,
+    budget_towers: float,
+    aggregate_gbps: float | None = None,
+    catalog: LinkCatalog | None = None,
+    registry: TowerRegistry | None = None,
+    cost_model: CostModel | None = None,
+    **heuristic_kwargs,
+) -> DesignResult:
+    """Design, provision, and cost a cISP network.
+
+    Args:
+        design_input: sites, traffic, and distance matrices (Step 1
+            outputs included).
+        budget_towers: the tower budget B.
+        aggregate_gbps: target aggregate throughput; enables Step 3 and
+            costing, and requires ``catalog`` and ``registry``.
+        catalog: Step-1 link catalog (tower paths for augmentation).
+        registry: tower registry (spare-tower availability).
+        cost_model: cost constants (defaults to the paper's).
+        **heuristic_kwargs: forwarded to
+            :func:`repro.core.heuristic.solve_heuristic`.
+    """
+    heuristic = solve_heuristic(design_input, budget_towers, **heuristic_kwargs)
+    fiber_stretch = fiber_only_topology(design_input).mean_stretch()
+    augmentation = None
+    cost_per_gb = None
+    if aggregate_gbps is not None:
+        if catalog is None or registry is None:
+            raise ValueError(
+                "capacity augmentation needs the link catalog and tower registry"
+            )
+        augmentation = augment_capacity(
+            heuristic.topology, catalog, registry, aggregate_gbps
+        )
+        cost_per_gb = augmentation.cost_per_gb(cost_model or CostModel())
+    return DesignResult(
+        topology=heuristic.topology,
+        mean_stretch=heuristic.objective,
+        fiber_mean_stretch=fiber_stretch,
+        heuristic=heuristic,
+        augmentation=augmentation,
+        cost_per_gb_usd=cost_per_gb,
+    )
+
+
+def topology_from_links(
+    design_input: DesignInput, links: list[tuple[int, int]]
+) -> Topology:
+    """Convenience constructor for a topology from explicit link pairs."""
+    return Topology(
+        design=design_input,
+        mw_links=frozenset((min(a, b), max(a, b)) for a, b in links),
+    )

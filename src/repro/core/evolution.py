@@ -1,0 +1,100 @@
+"""Budget evolution: how the hybrid shifts from fiber to microwave.
+
+The paper publishes an animation ([20]) of the network evolving "from
+mostly-fiber to mostly-MW as the budget increases".  This module
+produces that evolution as data: for each budget, the share of traffic
+that touches any MW link and the share of traffic-weighted distance
+actually carried over MW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .heuristic import GreedyStep
+from .topology import DesignInput, Topology
+
+
+@dataclass(frozen=True)
+class EvolutionPoint:
+    """The hybrid's composition at one budget.
+
+    Attributes:
+        budget_towers: the budget at this point.
+        towers_used: towers actually spent.
+        n_links: MW links built.
+        mean_stretch: traffic-weighted mean stretch.
+        traffic_on_mw: fraction of traffic whose route uses >= 1 MW link.
+        distance_share_mw: fraction of traffic-weighted route-km carried
+            over MW links (the "mostly-fiber -> mostly-MW" measure).
+    """
+
+    budget_towers: float
+    towers_used: float
+    n_links: int
+    mean_stretch: float
+    traffic_on_mw: float
+    distance_share_mw: float
+
+
+def mw_shares(topology: Topology) -> tuple[float, float]:
+    """(traffic_on_mw, distance_share_mw) for a topology."""
+    design = topology.design
+    h = design.traffic
+    routes = topology.routed_paths()
+    mw = topology.mw_links
+    total_h = 0.0
+    touched_h = 0.0
+    mw_km_weighted = 0.0
+    total_km_weighted = 0.0
+    for (s, t), path in routes.items():
+        w = h[s, t]
+        total_h += w
+        uses_mw = False
+        for u, v in zip(path[:-1], path[1:]):
+            edge = (min(u, v), max(u, v))
+            is_mw = edge in mw and design.mw_km[edge] < design.fiber_km[edge]
+            length = design.mw_km[edge] if is_mw else design.fiber_km[edge]
+            total_km_weighted += w * length
+            if is_mw:
+                uses_mw = True
+                mw_km_weighted += w * length
+        if uses_mw:
+            touched_h += w
+    if total_h <= 0:
+        raise ValueError("no traffic")
+    return (
+        touched_h / total_h,
+        mw_km_weighted / total_km_weighted if total_km_weighted > 0 else 0.0,
+    )
+
+
+def budget_evolution(
+    design: DesignInput,
+    steps: list[GreedyStep],
+    budgets: list[float],
+) -> list[EvolutionPoint]:
+    """The evolution table for a greedy run's prefixes."""
+    points = []
+    for budget in budgets:
+        links = []
+        spent = 0.0
+        for step in steps:
+            if step.cumulative_cost <= budget:
+                links.append(step.link)
+                spent = step.cumulative_cost
+        topology = Topology(design=design, mw_links=frozenset(links))
+        traffic_on_mw, distance_share = mw_shares(topology)
+        points.append(
+            EvolutionPoint(
+                budget_towers=float(budget),
+                towers_used=spent,
+                n_links=len(links),
+                mean_stretch=topology.mean_stretch(),
+                traffic_on_mw=traffic_on_mw,
+                distance_share_mw=distance_share,
+            )
+        )
+    return points

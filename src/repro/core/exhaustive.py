@@ -1,0 +1,53 @@
+"""Brute-force optimal topology search (verification oracle).
+
+Enumerates every affordable subset of candidate MW links and evaluates
+the true objective.  Exponential — usable only for a handful of
+candidates — but it is *ground truth*: the test suite uses it to verify
+the flow ILP and, transitively, the heuristic.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .ilp import prune_useless_links
+from .topology import DesignInput, Topology
+
+
+def solve_exhaustive(
+    design: DesignInput,
+    budget_towers: float,
+    candidate_links: list[tuple[int, int]] | None = None,
+    max_candidates: int = 16,
+) -> Topology:
+    """The provably optimal topology by subset enumeration.
+
+    Args:
+        design: problem input.
+        budget_towers: tower budget.
+        candidate_links: links to choose among (default: oracle-pruned).
+        max_candidates: safety bound; enumeration is 2^n.
+    """
+    if budget_towers < 0:
+        raise ValueError("budget must be non-negative")
+    candidates = candidate_links
+    if candidates is None:
+        candidates = prune_useless_links(design)
+    if len(candidates) > max_candidates:
+        raise ValueError(
+            f"{len(candidates)} candidates exceed the enumeration bound "
+            f"({max_candidates}); use the ILP instead"
+        )
+    best = Topology(design=design, mw_links=frozenset())
+    best_objective = best.mean_stretch()
+    for r in range(1, len(candidates) + 1):
+        for subset in combinations(candidates, r):
+            cost = sum(design.cost_towers[a, b] for a, b in subset)
+            if cost > budget_towers:
+                continue
+            topology = Topology(design=design, mw_links=frozenset(subset))
+            objective = topology.mean_stretch()
+            if objective < best_objective - 1e-12:
+                best = topology
+                best_objective = objective
+    return best

@@ -1,0 +1,151 @@
+"""LP-relaxation + rounding baseline (paper §3.2 / §4).
+
+The paper reports that "even the naive LP relaxation followed by
+rounding did not scale beyond 60 cities, and gave results worse than
+optimal".  This module implements that baseline so the comparison can be
+reproduced: relax every binary variable of the flow ILP to [0, 1], solve
+the LP, build every link with x above a threshold, and repair the budget
+by dropping the lowest-valued links.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, linprog
+
+from .ilp import prune_useless_links, useful_arcs_for_commodity
+from .topology import DesignInput, Topology
+
+
+@dataclass(frozen=True)
+class LpRoundingResult:
+    """Outcome of the LP-rounding baseline.
+
+    Attributes:
+        topology: the rounded (and budget-repaired) topology.
+        objective: its traffic-weighted mean stretch.
+        lp_objective: the (lower-bound) fractional LP objective.
+        runtime_s: wall-clock time.
+    """
+
+    topology: Topology
+    objective: float
+    lp_objective: float
+    runtime_s: float
+
+
+def solve_lp_rounding(
+    design: DesignInput,
+    budget_towers: float,
+    threshold: float = 0.5,
+) -> LpRoundingResult:
+    """Solve the relaxed LP and round the link variables.
+
+    Links with fractional value >= ``threshold`` are built; if they
+    exceed the budget, the smallest-valued ones are dropped until the
+    solution fits.
+    """
+    start = time.perf_counter()
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    links = prune_useless_links(design)
+    n_links = len(links)
+    link_index = {e: k for k, e in enumerate(links)}
+    n = design.n_sites
+    h = design.traffic
+    d = design.geodesic_km
+    o = design.fiber_km
+    m = design.mw_km
+    commodities = [(s, t) for s in range(n) for t in range(s + 1, n) if h[s, t] > 0]
+
+    col_cost: list[float] = [0.0] * n_links
+    rows_eq: list[int] = []
+    cols_eq: list[int] = []
+    vals_eq: list[float] = []
+    beq: list[float] = []
+    rows_ub: list[int] = []
+    cols_ub: list[int] = []
+    vals_ub: list[float] = []
+    n_eq = 0
+    n_ub = 0
+    next_var = n_links
+    for s, t in commodities:
+        weight = h[s, t] / d[s, t] if d[s, t] > 0 else 0.0
+        mw_arcs, fiber_arcs = useful_arcs_for_commodity(design, s, t, links)
+        arc_vars: list[tuple[int, int, int, bool]] = []
+        for i, j in mw_arcs:
+            col_cost.append(weight * m[min(i, j), max(i, j)])
+            arc_vars.append((next_var, i, j, True))
+            next_var += 1
+        for i, j in fiber_arcs:
+            col_cost.append(weight * o[i, j])
+            arc_vars.append((next_var, i, j, False))
+            next_var += 1
+        nodes = {s, t}
+        for _, i, j, _mw in arc_vars:
+            nodes.add(i)
+            nodes.add(j)
+        node_row = {v: n_eq + k for k, v in enumerate(sorted(nodes))}
+        for v in sorted(nodes):
+            beq.append(1.0 if v == s else (-1.0 if v == t else 0.0))
+        n_eq += len(nodes)
+        for var, i, j, _mw in arc_vars:
+            rows_eq.append(node_row[i])
+            cols_eq.append(var)
+            vals_eq.append(1.0)
+            rows_eq.append(node_row[j])
+            cols_eq.append(var)
+            vals_eq.append(-1.0)
+        for var, i, j, is_mw in arc_vars:
+            if is_mw:
+                rows_ub.append(n_ub)
+                cols_ub.append(var)
+                vals_ub.append(1.0)
+                rows_ub.append(n_ub)
+                cols_ub.append(link_index[(min(i, j), max(i, j))])
+                vals_ub.append(-1.0)
+                n_ub += 1
+    for k, (a, b) in enumerate(links):
+        rows_ub.append(n_ub)
+        cols_ub.append(k)
+        vals_ub.append(float(design.cost_towers[a, b]))
+    n_ub += 1
+
+    n_vars = next_var
+    a_eq = sparse.csr_matrix((vals_eq, (rows_eq, cols_eq)), shape=(n_eq, n_vars))
+    ub = np.zeros(n_ub)
+    ub[-1] = float(budget_towers)
+    a_ub = sparse.csr_matrix((vals_ub, (rows_ub, cols_ub)), shape=(n_ub, n_vars))
+    result = linprog(
+        c=np.array(col_cost),
+        A_ub=a_ub,
+        b_ub=ub,
+        A_eq=a_eq,
+        b_eq=np.array(beq),
+        bounds=(0.0, 1.0),
+        method="highs",
+    )
+    if result.x is None:
+        raise RuntimeError(f"LP failed: {result.message}")
+
+    x = result.x[:n_links]
+    picked = [(links[k], float(x[k])) for k in range(n_links) if x[k] >= threshold]
+    picked.sort(key=lambda kv: -kv[1])
+    chosen: set[tuple[int, int]] = set()
+    spent = 0.0
+    for (a, b), _val in picked:
+        c = float(design.cost_towers[a, b])
+        if spent + c <= budget_towers:
+            chosen.add((a, b))
+            spent += c
+    topology = Topology(design=design, mw_links=frozenset(chosen))
+    return LpRoundingResult(
+        topology=topology,
+        objective=topology.mean_stretch(),
+        lp_objective=float(result.fun),
+        runtime_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,155 @@
+"""Transmission-medium generality (paper §3.4).
+
+The cISP framework is medium-agnostic: any line-of-sight technology
+(microwave, millimeter wave, free-space optics) or future fiber
+(hollow-core) slots into the same design pipeline through three
+parameters — propagation speed relative to c, practicable hop range,
+and per-link bandwidth — plus costs.  This module defines the media the
+paper mentions and a helper that re-derives design inputs for a chosen
+medium, so the whole optimizer stack can be re-run under, e.g., an FSO
+deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+import numpy as np
+
+from .topology import DesignInput
+
+
+@dataclass(frozen=True)
+class Medium:
+    """A line-of-sight (or fiber) transmission technology.
+
+    Attributes:
+        name: label ("microwave", "mmw", "fso", "hollow-core").
+        speed_factor: propagation speed as a fraction of c (1.0 for air,
+            ~0.667 for solid-core fiber, ~0.997 for hollow-core).
+        max_hop_km: practicable tower-to-tower range.
+        bandwidth_gbps: capacity of one link/series.
+        link_cost_usd: equipment + install per hop.
+        weather_sensitivity: relative fade susceptibility (1.0 = MW at
+            11 GHz; FSO suffers more from fog, MMW more from rain).
+    """
+
+    name: str
+    speed_factor: float
+    max_hop_km: float
+    bandwidth_gbps: float
+    link_cost_usd: float
+    weather_sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.speed_factor <= 1.0:
+            raise ValueError("speed factor must be in (0, 1]")
+        if self.max_hop_km <= 0 or self.bandwidth_gbps <= 0:
+            raise ValueError("range and bandwidth must be positive")
+
+    def latency_equivalent_km(self, physical_km: float) -> float:
+        """Physical distance converted to latency-equivalent km
+        (distance light would cover in the same time)."""
+        if physical_km < 0:
+            raise ValueError("distance must be non-negative")
+        return physical_km / self.speed_factor
+
+
+#: The paper's primary choice: 6-18 GHz microwave.
+MICROWAVE = Medium(
+    name="microwave",
+    speed_factor=1.0,
+    max_hop_km=100.0,
+    bandwidth_gbps=1.0,
+    link_cost_usd=150_000.0,
+    weather_sensitivity=1.0,
+)
+
+#: Millimeter wave: shorter range, more bandwidth, worse in rain.
+MILLIMETER_WAVE = Medium(
+    name="mmw",
+    speed_factor=1.0,
+    max_hop_km=15.0,
+    bandwidth_gbps=10.0,
+    link_cost_usd=80_000.0,
+    weather_sensitivity=3.0,
+)
+
+#: Free-space optics: short range, high bandwidth, fog-limited.
+FREE_SPACE_OPTICS = Medium(
+    name="fso",
+    speed_factor=1.0,
+    max_hop_km=10.0,
+    bandwidth_gbps=40.0,
+    link_cost_usd=60_000.0,
+    weather_sensitivity=4.0,
+)
+
+#: Conventional solid-core fiber (the substrate's bulk carrier).
+SOLID_FIBER = Medium(
+    name="fiber",
+    speed_factor=2.0 / 3.0,
+    max_hop_km=80.0,
+    bandwidth_gbps=1000.0,
+    link_cost_usd=0.0,
+    weather_sensitivity=0.0,
+)
+
+#: Hollow-core fiber (§2): c-speed in fiber, but still conduit-bound.
+HOLLOW_CORE_FIBER = Medium(
+    name="hollow-core",
+    speed_factor=0.997,
+    max_hop_km=80.0,
+    bandwidth_gbps=1000.0,
+    link_cost_usd=0.0,
+    weather_sensitivity=0.0,
+)
+
+ALL_MEDIA = {
+    m.name: m
+    for m in (
+        MICROWAVE,
+        MILLIMETER_WAVE,
+        FREE_SPACE_OPTICS,
+        SOLID_FIBER,
+        HOLLOW_CORE_FIBER,
+    )
+}
+
+
+def reprice_links_for_medium(
+    design: DesignInput,
+    medium: Medium,
+    reference: Medium = MICROWAVE,
+) -> DesignInput:
+    """Re-derive a design input for a different line-of-sight medium.
+
+    Shorter-range media need proportionally more relay sites along the
+    same physical routes, so link tower-costs scale by the range ratio;
+    latency-equivalent lengths scale with the medium's speed factor.
+    The adjustment keeps Step-1 routing geometry (tower chains follow
+    the same corridors) — the approximation the paper's generality
+    argument rests on.
+    """
+    range_ratio = reference.max_hop_km / medium.max_hop_km
+    new_cost = np.where(
+        np.isfinite(design.cost_towers),
+        np.ceil(design.cost_towers * range_ratio),
+        np.inf,
+    )
+    np.fill_diagonal(new_cost, 0.0)
+    speed_ratio = reference.speed_factor / medium.speed_factor
+    new_mw = design.mw_km * speed_ratio
+    return dc_replace(design, mw_km=new_mw, cost_towers=new_cost)
+
+
+def hollow_core_fiber_stretch(conduit_stretch: float) -> float:
+    """Latency stretch if today's conduits carried hollow-core fiber.
+
+    The paper (§2) notes hollow-core removes the 1.5x refractive
+    penalty but keeps conduit circuitousness; with the measured ~1.29x
+    route inflation the floor is ~1.3x, still above cISP's 1.05x.
+    """
+    if conduit_stretch < 1.0:
+        raise ValueError("conduit stretch must be >= 1")
+    return conduit_stretch / HOLLOW_CORE_FIBER.speed_factor

@@ -1,0 +1,18 @@
+"""Site datasets: US/EU population centers and data center locations."""
+
+from .datacenters import google_us_datacenters
+from .eu_cities import eu_population_centers
+from .eu_cities import raw_cities as raw_eu_cities
+from .sites import Site, coalesce_sites
+from .us_cities import raw_cities as raw_us_cities
+from .us_cities import us_population_centers
+
+__all__ = [
+    "Site",
+    "coalesce_sites",
+    "google_us_datacenters",
+    "eu_population_centers",
+    "raw_eu_cities",
+    "raw_us_cities",
+    "us_population_centers",
+]

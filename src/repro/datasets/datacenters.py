@@ -1,0 +1,25 @@
+"""The six publicly known Google US data center locations (paper §6.3).
+
+Berkeley County SC; Council Bluffs IA; Douglas County GA; Lenoir NC;
+Mayes County OK; The Dalles OR.  Populations are zero: data centers
+contribute traffic through the DC-DC and city-DC traffic models, not
+through the population product.
+"""
+
+from __future__ import annotations
+
+from .sites import Site
+
+_DATACENTERS: list[tuple[str, float, float]] = [
+    ("DC Berkeley County SC", 33.0632, -80.0405),
+    ("DC Council Bluffs IA", 41.2619, -95.8608),
+    ("DC Douglas County GA", 33.7515, -84.7477),
+    ("DC Lenoir NC", 35.9140, -81.5390),
+    ("DC Mayes County OK", 36.2416, -95.3314),
+    ("DC The Dalles OR", 45.5946, -121.1787),
+]
+
+
+def google_us_datacenters() -> list[Site]:
+    """The six public Google US data center sites."""
+    return [Site(name=n, lat=lat, lon=lon, population=0) for n, lat, lon in _DATACENTERS]

@@ -1,0 +1,70 @@
+"""Site datatypes shared by all scenario datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..geo.coords import GeoPoint, haversine_km
+
+
+@dataclass(frozen=True)
+class Site:
+    """A network site: a population center or a data center.
+
+    Attributes:
+        name: unique human-readable identifier.
+        lat: latitude, degrees.
+        lon: longitude, degrees.
+        population: resident population (0 for data centers).
+    """
+
+    name: str
+    lat: float
+    lon: float
+    population: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("site name must be non-empty")
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude {self.lat} out of range")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude {self.lon} out of range")
+        if self.population < 0:
+            raise ValueError("population must be non-negative")
+
+    @property
+    def point(self) -> GeoPoint:
+        """The site's location as a :class:`GeoPoint`."""
+        return GeoPoint(self.lat, self.lon)
+
+    def distance_km(self, other: "Site") -> float:
+        """Great-circle distance to another site, km."""
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+
+def coalesce_sites(sites: list[Site], radius_km: float) -> list[Site]:
+    """Merge sites within ``radius_km`` into single population centers.
+
+    Implements the paper's suburb-coalescing rule (§4): iterate over
+    sites by descending population; each site is absorbed into the first
+    already-kept center within ``radius_km``, adding its population to
+    that center.  Returns centers ordered by descending (merged)
+    population.
+    """
+    if radius_km < 0:
+        raise ValueError("radius must be non-negative")
+    ordered = sorted(sites, key=lambda s: -s.population)
+    centers: list[Site] = []
+    for site in ordered:
+        merged = False
+        for i, center in enumerate(centers):
+            if site.distance_km(center) <= radius_km:
+                centers[i] = replace(
+                    center, population=center.population + site.population
+                )
+                merged = True
+                break
+        if not merged:
+            centers.append(site)
+    return sorted(centers, key=lambda s: -s.population)

@@ -1,0 +1,15 @@
+"""Synthetic long-haul fiber conduit network (InterTubes substitute)."""
+
+from .conduits import (
+    FiberEdge,
+    FiberNetwork,
+    build_conduit_network,
+    fiber_stretch_matrix,
+)
+
+__all__ = [
+    "FiberEdge",
+    "FiberNetwork",
+    "build_conduit_network",
+    "fiber_stretch_matrix",
+]

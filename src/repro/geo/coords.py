@@ -1,0 +1,167 @@
+"""Geodesic primitives: points, great-circle distances, and c-latency.
+
+All of cISP's latency arguments are anchored to the *c-latency*: the time
+light would take to travel the geodesic (great-circle) distance between
+two points.  This module provides that yardstick plus the small amount of
+spherical trigonometry the rest of the library needs (bearings, great
+circle interpolation for terrain profiles, midpoints).
+
+Distances are kilometres, latencies milliseconds, angles degrees unless
+stated otherwise.  We use a spherical Earth (radius 6371 km); the paper's
+conclusions are insensitive to the <0.5% ellipsoidal correction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Mean Earth radius in kilometres (IUGG).
+EARTH_RADIUS_KM = 6371.0
+
+#: Speed of light in vacuum, km per second.
+SPEED_OF_LIGHT_KM_S = 299_792.458
+
+#: Refractive slowdown of light in optical fiber (speed ~ 2c/3).  The
+#: paper multiplies fiber route distances by 1.5 to convert them to
+#: latency-equivalent distances.
+FIBER_SLOWDOWN = 1.5
+
+
+@dataclass(frozen=True, order=True)
+class GeoPoint:
+    """A point on the Earth's surface.
+
+    Attributes:
+        lat: latitude in degrees, in [-90, 90].
+        lon: longitude in degrees, in [-180, 180].
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude {self.lat} out of range [-90, 90]")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude {self.lon} out of range [-180, 180]")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+
+def haversine_km(lat1, lon1, lat2, lon2):
+    """Great-circle distance between (lat1, lon1) and (lat2, lon2).
+
+    Accepts scalars or numpy arrays (broadcasting applies) and returns
+    the same shape.  Inputs are degrees; output is kilometres.
+    """
+    lat1 = np.radians(lat1)
+    lon1 = np.radians(lon1)
+    lat2 = np.radians(lat2)
+    lon2 = np.radians(lon2)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    # Clip to guard against floating point drift just above 1.0.
+    central = 2.0 * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+    result = EARTH_RADIUS_KM * central
+    if np.ndim(result) == 0:
+        return float(result)
+    return result
+
+
+def pairwise_distance_matrix(lats, lons) -> np.ndarray:
+    """All-pairs great-circle distance matrix for coordinate vectors.
+
+    Args:
+        lats: array of latitudes, shape (n,).
+        lons: array of longitudes, shape (n,).
+
+    Returns:
+        (n, n) symmetric matrix of distances in kilometres with a zero
+        diagonal.
+    """
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    d = haversine_km(lats[:, None], lons[:, None], lats[None, :], lons[None, :])
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def c_latency_ms(distance_km: float) -> float:
+    """One-way speed-of-light travel time over ``distance_km``, in ms."""
+    return distance_km / SPEED_OF_LIGHT_KM_S * 1000.0
+
+
+def fiber_latency_ms(route_km: float) -> float:
+    """One-way latency over a fiber route of physical length ``route_km``."""
+    return c_latency_ms(route_km * FIBER_SLOWDOWN)
+
+
+def initial_bearing_deg(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Initial great-circle bearing from point 1 to point 2, degrees in [0, 360)."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dlon = math.radians(lon2 - lon1)
+    y = math.sin(dlon) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(phi2) * math.cos(dlon)
+    return math.degrees(math.atan2(y, x)) % 360.0
+
+
+def destination_point(lat: float, lon: float, bearing_deg: float, distance_km: float) -> GeoPoint:
+    """Point reached travelling ``distance_km`` from (lat, lon) on ``bearing_deg``."""
+    delta = distance_km / EARTH_RADIUS_KM
+    theta = math.radians(bearing_deg)
+    phi1 = math.radians(lat)
+    lam1 = math.radians(lon)
+    phi2 = math.asin(
+        math.sin(phi1) * math.cos(delta) + math.cos(phi1) * math.sin(delta) * math.cos(theta)
+    )
+    lam2 = lam1 + math.atan2(
+        math.sin(theta) * math.sin(delta) * math.cos(phi1),
+        math.cos(delta) - math.sin(phi1) * math.sin(phi2),
+    )
+    lon2 = (math.degrees(lam2) + 540.0) % 360.0 - 180.0
+    return GeoPoint(math.degrees(phi2), lon2)
+
+
+def great_circle_points(p1: GeoPoint, p2: GeoPoint, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` points evenly spaced along the great circle from p1 to p2.
+
+    Includes both endpoints.  Returns (lats, lons) arrays of shape (n,).
+    Uses spherical linear interpolation (slerp), which is exact on the
+    sphere.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 points (the endpoints)")
+    phi1, lam1 = math.radians(p1.lat), math.radians(p1.lon)
+    phi2, lam2 = math.radians(p2.lat), math.radians(p2.lon)
+    v1 = np.array(
+        [math.cos(phi1) * math.cos(lam1), math.cos(phi1) * math.sin(lam1), math.sin(phi1)]
+    )
+    v2 = np.array(
+        [math.cos(phi2) * math.cos(lam2), math.cos(phi2) * math.sin(lam2), math.sin(phi2)]
+    )
+    omega = math.acos(float(np.clip(np.dot(v1, v2), -1.0, 1.0)))
+    t = np.linspace(0.0, 1.0, n)
+    if omega < 1e-12:
+        # Degenerate case: identical points.
+        vs = np.tile(v1, (n, 1))
+    else:
+        sin_omega = math.sin(omega)
+        a = np.sin((1.0 - t) * omega) / sin_omega
+        b = np.sin(t * omega) / sin_omega
+        vs = a[:, None] * v1[None, :] + b[:, None] * v2[None, :]
+    lats = np.degrees(np.arcsin(np.clip(vs[:, 2], -1.0, 1.0)))
+    lons = np.degrees(np.arctan2(vs[:, 1], vs[:, 0]))
+    return lats, lons
+
+
+def midpoint(p1: GeoPoint, p2: GeoPoint) -> GeoPoint:
+    """Great-circle midpoint of two points."""
+    lats, lons = great_circle_points(p1, p2, 3)
+    return GeoPoint(float(lats[1]), float(lons[1]))

@@ -1,0 +1,270 @@
+"""Synthetic terrain elevation model (substitute for NASA SRTM/NED data).
+
+The paper assesses microwave hop feasibility against the NASA SRTM/NED
+elevation dataset (which includes ground clutter and tree canopy).  That
+dataset is tens of gigabytes and unavailable offline, so we substitute a
+deterministic procedural elevation field with the properties the
+line-of-sight engine actually consumes:
+
+* smooth multi-octave relief with realistic amplitudes (plains tens of
+  metres, hills hundreds, mountain belts thousands);
+* named mountain ridges placed where the real ones are (Rockies,
+  Sierra Nevada, Appalachians, Alps, ...), so hop feasibility varies
+  geographically the way the paper reports (e.g., the long
+  Illinois-California link crosses the Rockies through low tower
+  density);
+* determinism: the same (lat, lon, seed) always yields the same
+  elevation, so experiments are reproducible.
+
+Elevations are metres above a nominal sea level and are never negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coords import GeoPoint, great_circle_points
+
+#: Kilometres per degree of latitude (spherical Earth).
+_KM_PER_DEG_LAT = 111.19
+
+
+def _mix_hash(ix: np.ndarray, iy: np.ndarray, seed: int) -> np.ndarray:
+    """Deterministic integer hash of lattice coordinates to [0, 1)."""
+    seed_mix = np.uint64((seed * 0x165667B19E3779F9) % (1 << 64))
+    h = (
+        ix.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        ^ iy.astype(np.uint64) * np.uint64(0xC2B2AE3D27D4EB4F)
+        ^ seed_mix
+    )
+    h ^= h >> np.uint64(33)
+    h *= np.uint64(0xFF51AFD7ED558CCD)
+    h ^= h >> np.uint64(33)
+    return (h >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+def _smoothstep(t: np.ndarray) -> np.ndarray:
+    return t * t * (3.0 - 2.0 * t)
+
+
+def _value_noise(x: np.ndarray, y: np.ndarray, seed: int) -> np.ndarray:
+    """Bilinear-interpolated lattice value noise in [0, 1)."""
+    x0 = np.floor(x)
+    y0 = np.floor(y)
+    tx = _smoothstep(x - x0)
+    ty = _smoothstep(y - y0)
+    ix0 = x0.astype(np.int64)
+    iy0 = y0.astype(np.int64)
+    v00 = _mix_hash(ix0, iy0, seed)
+    v10 = _mix_hash(ix0 + 1, iy0, seed)
+    v01 = _mix_hash(ix0, iy0 + 1, seed)
+    v11 = _mix_hash(ix0 + 1, iy0 + 1, seed)
+    top = v00 + (v10 - v00) * tx
+    bottom = v01 + (v11 - v01) * tx
+    return top + (bottom - top) * ty
+
+
+def fractal_noise(
+    x: np.ndarray,
+    y: np.ndarray,
+    octaves: int = 5,
+    persistence: float = 0.5,
+    lacunarity: float = 2.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Multi-octave value noise normalized to [0, 1)."""
+    total = np.zeros_like(np.asarray(x, dtype=float))
+    amplitude = 1.0
+    frequency = 1.0
+    norm = 0.0
+    for octave in range(octaves):
+        total += amplitude * _value_noise(x * frequency, y * frequency, seed + octave)
+        norm += amplitude
+        amplitude *= persistence
+        frequency *= lacunarity
+    return total / norm
+
+
+@dataclass(frozen=True)
+class MountainRidge:
+    """A mountain belt modelled as a Gaussian wall along a polyline.
+
+    Attributes:
+        name: human-readable label (e.g., "Rockies").
+        waypoints: polyline of (lat, lon) pairs tracing the ridge crest.
+        height_m: peak crest height above the surrounding base level.
+        width_km: e-folding half-width of the belt.
+    """
+
+    name: str
+    waypoints: tuple[tuple[float, float], ...]
+    height_m: float
+    width_km: float
+
+    def distance_km(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Approximate distance from query points to the ridge polyline.
+
+        Uses a local equirectangular projection per segment, accurate to
+        a few percent at the few-hundred-km scales that matter for the
+        ridge envelope.
+        """
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        best = np.full(lats.shape, np.inf)
+        pts = self.waypoints
+        for (lat_a, lon_a), (lat_b, lon_b) in zip(pts[:-1], pts[1:]):
+            mean_lat = np.radians((lat_a + lat_b) / 2.0)
+            kx = _KM_PER_DEG_LAT * np.cos(mean_lat)
+            ax, ay = lon_a * kx, lat_a * _KM_PER_DEG_LAT
+            bx, by = lon_b * kx, lat_b * _KM_PER_DEG_LAT
+            px = lons * kx
+            py = lats * _KM_PER_DEG_LAT
+            dx, dy = bx - ax, by - ay
+            seg_len_sq = dx * dx + dy * dy
+            if seg_len_sq <= 0:
+                t = np.zeros_like(px)
+            else:
+                t = np.clip(((px - ax) * dx + (py - ay) * dy) / seg_len_sq, 0.0, 1.0)
+            cx = ax + t * dx
+            cy = ay + t * dy
+            dist = np.hypot(px - cx, py - cy)
+            best = np.minimum(best, dist)
+        return best
+
+
+@dataclass(frozen=True)
+class TerrainModel:
+    """Deterministic procedural elevation field.
+
+    Attributes:
+        seed: noise seed; the same seed reproduces the same terrain.
+        base_m: mean elevation of the gently rolling base relief.
+        relief_m: peak-to-peak amplitude of the base relief.
+        noise_scale_deg: spatial scale (degrees per noise cell) of the
+            base relief's lowest octave.
+        ridges: mountain belts superimposed on the base relief.
+    """
+
+    seed: int = 7
+    base_m: float = 120.0
+    relief_m: float = 380.0
+    noise_scale_deg: float = 1.6
+    ridges: tuple[MountainRidge, ...] = field(default_factory=tuple)
+
+    def elevation_m(self, lats, lons) -> np.ndarray:
+        """Elevation in metres at the query coordinates (vectorized)."""
+        lats = np.atleast_1d(np.asarray(lats, dtype=float))
+        lons = np.atleast_1d(np.asarray(lons, dtype=float))
+        x = lons / self.noise_scale_deg
+        y = lats / self.noise_scale_deg
+        base = self.base_m + self.relief_m * fractal_noise(x, y, octaves=5, seed=self.seed)
+        elevation = base
+        for i, ridge in enumerate(self.ridges):
+            dist = ridge.distance_km(lats, lons)
+            envelope = np.exp(-((dist / ridge.width_km) ** 2))
+            # Ruggedness: crest height varies along the belt.
+            rough = 0.55 + 0.45 * fractal_noise(
+                x * 3.0, y * 3.0, octaves=3, seed=self.seed + 101 + i
+            )
+            elevation = elevation + ridge.height_m * envelope * rough
+        return np.maximum(elevation, 0.0)
+
+    def point_elevation_m(self, point: GeoPoint) -> float:
+        """Elevation at a single point, metres."""
+        return float(self.elevation_m([point.lat], [point.lon])[0])
+
+    def profile(
+        self, p1: GeoPoint, p2: GeoPoint, n_samples: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Terrain profile along the great circle from ``p1`` to ``p2``.
+
+        Returns (lats, lons, elevations_m), each of shape (n_samples,),
+        including the endpoints.
+        """
+        lats, lons = great_circle_points(p1, p2, n_samples)
+        return lats, lons, self.elevation_m(lats, lons)
+
+
+def us_terrain(seed: int = 7) -> TerrainModel:
+    """Terrain model for the contiguous United States."""
+    return TerrainModel(
+        seed=seed,
+        base_m=150.0,
+        relief_m=420.0,
+        noise_scale_deg=1.7,
+        ridges=(
+            MountainRidge(
+                "Rockies",
+                ((48.8, -115.0), (44.5, -110.5), (39.5, -106.0), (35.5, -105.8)),
+                height_m=2400.0,
+                width_km=260.0,
+            ),
+            MountainRidge(
+                "Sierra Nevada",
+                ((40.5, -121.3), (37.5, -119.0), (35.8, -118.2)),
+                height_m=2300.0,
+                width_km=90.0,
+            ),
+            MountainRidge(
+                "Cascades",
+                ((48.8, -121.4), (44.0, -121.8), (41.5, -122.2)),
+                height_m=1900.0,
+                width_km=90.0,
+            ),
+            MountainRidge(
+                "Appalachians",
+                ((43.0, -73.2), (40.5, -77.5), (37.5, -80.5), (35.0, -83.5)),
+                height_m=900.0,
+                width_km=130.0,
+            ),
+        ),
+    )
+
+
+def europe_terrain(seed: int = 11) -> TerrainModel:
+    """Terrain model for Europe."""
+    return TerrainModel(
+        seed=seed,
+        base_m=120.0,
+        relief_m=360.0,
+        noise_scale_deg=1.5,
+        ridges=(
+            MountainRidge(
+                "Alps",
+                ((45.2, 6.0), (46.3, 8.5), (47.0, 11.0), (46.5, 13.8)),
+                height_m=2600.0,
+                width_km=130.0,
+            ),
+            MountainRidge(
+                "Pyrenees",
+                ((43.1, -1.8), (42.6, 0.8), (42.4, 2.8)),
+                height_m=2000.0,
+                width_km=70.0,
+            ),
+            MountainRidge(
+                "Carpathians",
+                ((49.3, 19.8), (48.0, 24.0), (45.7, 25.4)),
+                height_m=1500.0,
+                width_km=110.0,
+            ),
+            MountainRidge(
+                "Scandes",
+                ((59.5, 7.5), (63.0, 11.0), (67.5, 16.5)),
+                height_m=1400.0,
+                width_km=150.0,
+            ),
+            MountainRidge(
+                "Apennines",
+                ((44.4, 8.8), (42.5, 13.3), (40.5, 15.8)),
+                height_m=1400.0,
+                width_km=70.0,
+            ),
+        ),
+    )
+
+
+def flat_terrain(elevation_m: float = 0.0) -> TerrainModel:
+    """A perfectly flat terrain (useful for tests and calibration)."""
+    return TerrainModel(seed=0, base_m=elevation_m, relief_m=0.0, ridges=())

@@ -1,0 +1,110 @@
+"""Tower-disjoint shortest MW paths (paper §3.3 / Fig 4(b)).
+
+For capacity augmentation the paper computes successive shortest paths
+between two sites after removing all towers used by earlier paths,
+showing that stretch degrades gracefully (1.02 -> ~1.15 over 20
+iterations on the IL-CA link, vs. 1.75 over fiber).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from ..datasets.sites import Site
+from ..geo.coords import haversine_km
+from ..towers.hops import HopGraph
+from ..towers.registry import TowerRegistry
+from .builder import DEFAULT_SITE_ATTACH_KM, _reconstruct_path, _site_attachment_edges
+
+
+@dataclass(frozen=True)
+class DisjointPath:
+    """One tower-disjoint path found in an iteration.
+
+    Attributes:
+        iteration: 0-based iteration index.
+        mw_km: path length along the towers.
+        stretch: mw_km / geodesic distance between the two sites.
+        tower_path: towers used (these are removed for later iterations).
+    """
+
+    iteration: int
+    mw_km: float
+    stretch: float
+    tower_path: tuple[int, ...]
+
+
+def tower_disjoint_paths(
+    site_a: Site,
+    site_b: Site,
+    registry: TowerRegistry,
+    hop_graph: HopGraph,
+    max_iterations: int = 20,
+    attach_km: float = DEFAULT_SITE_ATTACH_KM,
+) -> list[DisjointPath]:
+    """Successive tower-disjoint shortest MW paths between two sites.
+
+    Each iteration finds the shortest path through the remaining towers
+    and then removes every tower it used.  Stops early when the sites
+    become disconnected.
+    """
+    geodesic = site_a.distance_km(site_b)
+    if geodesic <= 0:
+        raise ValueError("sites must be distinct")
+    n_towers = hop_graph.n_towers
+    src = n_towers
+    dst = n_towers + 1
+    n_nodes = n_towers + 2
+
+    rows = list(hop_graph.edges_a) + list(hop_graph.edges_b)
+    cols = list(hop_graph.edges_b) + list(hop_graph.edges_a)
+    vals = list(hop_graph.lengths_km) * 2
+    s_rows, s_cols, s_vals = _site_attachment_edges(
+        [site_a, site_b], registry, attach_km
+    )
+    rows += s_rows + s_cols
+    cols += s_cols + s_rows
+    vals += s_vals + s_vals
+    base = csr_matrix(
+        (np.array(vals), (np.array(rows), np.array(cols))), shape=(n_nodes, n_nodes)
+    ).tolil()
+
+    removed: set[int] = set()
+    paths: list[DisjointPath] = []
+    graph = base
+    for it in range(max_iterations):
+        dist, pred = dijkstra(
+            graph.tocsr(), directed=False, indices=src, return_predecessors=True
+        )
+        if not np.isfinite(dist[dst]):
+            break
+        node_path = _reconstruct_path(pred, dst)
+        towers_used = tuple(n for n in node_path if n < n_towers)
+        paths.append(
+            DisjointPath(
+                iteration=it,
+                mw_km=float(dist[dst]),
+                stretch=float(dist[dst] / geodesic),
+                tower_path=towers_used,
+            )
+        )
+        for t in towers_used:
+            removed.add(t)
+            graph.rows[t] = []
+            graph.data[t] = []
+        # Also remove edges *into* removed towers.
+        if towers_used:
+            removed_set = set(towers_used)
+            for node in range(n_nodes):
+                row = graph.rows[node]
+                if not row:
+                    continue
+                keep = [k for k, col in enumerate(row) if col not in removed_set]
+                if len(keep) != len(row):
+                    graph.rows[node] = [row[k] for k in keep]
+                    graph.data[node] = [graph.data[node][k] for k in keep]
+    return paths

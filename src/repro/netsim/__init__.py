@@ -1,0 +1,52 @@
+"""Event-driven packet-level network simulator (ns-3 substitute)."""
+
+from .engine import Simulator
+from .experiments import (
+    FailureRerouteResult,
+    UdpExperimentResult,
+    run_failure_reroute_experiment,
+    build_edge_specs,
+    run_udp_experiment,
+)
+from .flows import DEFAULT_UDP_PACKET_BYTES, UdpFlow
+from .links import DEFAULT_QUEUE_PACKETS, Link
+from .monitor import FlowMonitor, FlowStats, QueueSampler
+from .network import EdgeSpec, Network
+from .nodes import Node
+from .packets import Packet
+from .routing import (
+    k_shortest_paths,
+    mean_route_latency,
+    min_max_utilization_routing,
+    shortest_path_routing,
+    throughput_optimal_routing,
+)
+from .tcp import DEFAULT_MSS_BYTES, TcpFlow, TcpStats
+
+__all__ = [
+    "Simulator",
+    "FailureRerouteResult",
+    "UdpExperimentResult",
+    "run_failure_reroute_experiment",
+    "build_edge_specs",
+    "run_udp_experiment",
+    "DEFAULT_UDP_PACKET_BYTES",
+    "UdpFlow",
+    "DEFAULT_QUEUE_PACKETS",
+    "Link",
+    "FlowMonitor",
+    "FlowStats",
+    "QueueSampler",
+    "EdgeSpec",
+    "Network",
+    "Node",
+    "Packet",
+    "k_shortest_paths",
+    "mean_route_latency",
+    "min_max_utilization_routing",
+    "shortest_path_routing",
+    "throughput_optimal_routing",
+    "DEFAULT_MSS_BYTES",
+    "TcpFlow",
+    "TcpStats",
+]

@@ -1,0 +1,71 @@
+"""Discrete-event simulation core (ns-3 substitute, paper §5).
+
+A minimal but real event-driven kernel: a time-ordered heap of
+callbacks.  Everything in :mod:`repro.netsim` (links, queues, flows,
+TCP) schedules work through one :class:`Simulator` instance, so event
+ordering, determinism, and virtual time are centralized here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class Simulator:
+    """An event-driven simulator with a virtual clock.
+
+    Events are (time, sequence) ordered; ties break in scheduling order,
+    making runs fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the queue drains or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` at exit even if the queue drained earlier.
+        """
+        self._running = True
+        while self._queue and self._running:
+            t, _, callback = self._queue[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = t
+            callback()
+        if until is not None and self._now < until:
+            self._now = until
+        self._running = False
+
+    def stop(self) -> None:
+        """Halt the event loop (from inside a callback)."""
+        self._running = False
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

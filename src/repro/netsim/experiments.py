@@ -1,0 +1,401 @@
+"""Packet-level experiments over designed cISP topologies (§5, §6.4).
+
+Bridges the design core and the packet simulator: a designed
+:class:`~repro.core.topology.Topology` becomes a site-level network
+(MW links with their real propagation delays, fiber edges with 1.5x
+latency), demands become Poisson UDP flows, and the simulator measures
+mean delay and loss as offered load sweeps from 10% to 100% of the
+design capacity — the Fig 5 / Fig 11 methodology.
+
+As in the paper, parallel tower hops are aggregated into one site-level
+link ("we aggregate the bandwidth of parallel links and remove the
+individual tower hops").  We additionally scale all rates down by a
+constant factor so packet counts stay laptop-sized; utilizations, and
+hence queueing behavior, are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.augmentation import route_link_demands, series_needed
+from ..core.topology import Topology
+from ..geo.coords import SPEED_OF_LIGHT_KM_S
+from .engine import Simulator
+from .flows import UdpFlow
+from .monitor import FlowMonitor
+from .network import EdgeSpec, Network
+
+
+@dataclass(frozen=True)
+class FailureRerouteResult:
+    """Outcome of a link-failure + centralized-reroute experiment (§6.1).
+
+    Attributes:
+        loss_before: loss rate before the failure.
+        loss_during_outage: loss rate between failure and reroute (the
+            affected flows black-hole into the dead link).
+        loss_after_reroute: loss rate once traffic is recomputed around
+            the failure.
+        flows_rerouted: how many flows crossed the failed link.
+    """
+
+    loss_before: float
+    loss_during_outage: float
+    loss_after_reroute: float
+    flows_rerouted: int
+
+
+@dataclass(frozen=True)
+class UdpExperimentResult:
+    """Aggregate outcome of one load point.
+
+    Attributes:
+        input_rate_fraction: offered load relative to design capacity.
+        mean_delay_ms: mean end-to-end packet delay.
+        loss_rate: network-wide packet loss fraction.
+        max_link_utilization: highest per-link utilization observed.
+    """
+
+    input_rate_fraction: float
+    mean_delay_ms: float
+    loss_rate: float
+    max_link_utilization: float
+
+
+def build_edge_specs(
+    topology: Topology,
+    aggregate_gbps: float,
+    rate_scale: float = 1e-4,
+    queue_packets: int = 200,
+    capacity_mode: str = "k2",
+) -> list[EdgeSpec]:
+    """Site-level edges for a provisioned topology.
+
+    MW links get capacity k^2 Gbps where k covers their routed demand
+    (``capacity_mode="k2"``, Step 3's provisioning), or their demand
+    rounded up to whole-Gbps series (``"tight"`` — the leaner
+    provisioning whose loss onset under load Fig 5 probes); fiber edges
+    that the design's routing actually uses appear with generous
+    capacity (fiber bandwidth is plentiful in the paper's model).
+    ``rate_scale`` uniformly shrinks rates (and thus absolute packet
+    counts); utilization at a given offered-load fraction is invariant
+    to it.
+    """
+    if rate_scale <= 0:
+        raise ValueError("rate scale must be positive")
+    if capacity_mode not in ("k2", "tight"):
+        raise ValueError("capacity_mode must be 'k2' or 'tight'")
+    design = topology.design
+    demands = route_link_demands(topology, aggregate_gbps)
+    routes = topology.routed_paths()
+    specs: dict[tuple[int, int], EdgeSpec] = {}
+    for link, demand in demands.items():
+        a, b = link
+        if capacity_mode == "k2":
+            k = series_needed(demand)
+            capacity_gbps = max(k * k, 1)
+        else:
+            capacity_gbps = max(float(np.ceil(demand)), 1.0)
+        capacity_bps = capacity_gbps * 1e9 * rate_scale
+        delay_s = design.mw_km[a, b] / SPEED_OF_LIGHT_KM_S
+        specs[link] = EdgeSpec(
+            a=str(a),
+            b=str(b),
+            rate_bps=capacity_bps,
+            delay_s=delay_s,
+            queue_capacity=queue_packets,
+        )
+    # Fiber edges used by any route.
+    mw = set(demands)
+    for path in routes.values():
+        for u, v in zip(path[:-1], path[1:]):
+            edge = (min(u, v), max(u, v))
+            if edge in mw or edge in specs:
+                continue
+            delay_s = design.fiber_km[edge] / SPEED_OF_LIGHT_KM_S
+            specs[edge] = EdgeSpec(
+                a=str(edge[0]),
+                b=str(edge[1]),
+                rate_bps=100e9 * rate_scale,
+                delay_s=delay_s,
+                queue_capacity=queue_packets,
+            )
+    return list(specs.values())
+
+
+def run_udp_experiment(
+    topology: Topology,
+    design_aggregate_gbps: float,
+    input_rate_fraction: float,
+    offered_traffic: np.ndarray | None = None,
+    duration_s: float = 1.0,
+    rate_scale: float = 1e-4,
+    min_flow_rate_fraction: float = 2e-4,
+    capacity_mode: str = "k2",
+    seed: int = 0,
+) -> UdpExperimentResult:
+    """One Fig 5 / Fig 11 load point.
+
+    Args:
+        topology: the designed (and implicitly provisioned) network.
+        design_aggregate_gbps: the capacity the network was designed
+            for; link capacities derive from routing *design* traffic.
+        input_rate_fraction: offered aggregate load as a fraction of
+            ``design_aggregate_gbps`` (the x-axis of Fig 5).
+        offered_traffic: traffic matrix actually offered (defaults to
+            the design matrix; perturbed/mixed matrices reproduce the
+            deviation experiments).
+        duration_s: simulated seconds.
+        rate_scale: uniform rate shrink factor (see module docstring).
+        min_flow_rate_fraction: demands below this fraction of the
+            total are dropped (they contribute negligible load but
+            dominate event count).
+        seed: RNG seed for Poisson arrivals.
+    """
+    if not 0 < input_rate_fraction <= 1.5:
+        raise ValueError("input rate fraction out of range")
+    design = topology.design
+    traffic = offered_traffic if offered_traffic is not None else design.traffic
+    specs = build_edge_specs(
+        topology,
+        design_aggregate_gbps,
+        rate_scale=rate_scale,
+        capacity_mode=capacity_mode,
+    )
+    sim = Simulator()
+    net = Network.from_edges(sim, specs)
+    monitor = FlowMonitor(sim)
+    for link in net.links.values():
+        monitor.watch_link(link)
+
+    routes = topology.routed_paths()
+    total_h = np.triu(traffic, k=1).sum()
+    offered_bps = (
+        design_aggregate_gbps * 1e9 * rate_scale * input_rate_fraction
+    )
+    # Drop the long tail of tiny flows (they dominate event count but
+    # not load), then renormalize the kept flows so the full offered
+    # aggregate is actually injected.
+    kept: list[tuple[tuple[int, int], tuple[str, ...], float]] = []
+    kept_mass = 0.0
+    for (s, t), path in routes.items():
+        h = traffic[s, t] / total_h
+        if h < min_flow_rate_fraction:
+            continue
+        node_path = tuple(str(v) for v in path)
+        if any(name not in net.nodes for name in node_path):
+            continue
+        kept.append(((s, t), node_path, h))
+        kept_mass += h
+    if kept_mass <= 0:
+        raise ValueError("no flows above the rate cutoff")
+    flow_id = 0
+    for (s, t), node_path, h in kept:
+        rate = offered_bps * h / kept_mass
+        if rate <= 0:
+            continue
+        flow = UdpFlow(
+            sim,
+            net,
+            monitor,
+            flow_id,
+            node_path,
+            rate_bps=rate,
+            seed=seed * 100_003 + flow_id,
+        )
+        flow.start()
+        flow_id += 1
+    sim.run(until=duration_s)
+    max_util = max(
+        (link.utilization(duration_s) for link in net.links.values()), default=0.0
+    )
+    return UdpExperimentResult(
+        input_rate_fraction=input_rate_fraction,
+        mean_delay_ms=monitor.mean_delay_s() * 1000.0,
+        loss_rate=monitor.overall_loss_rate(),
+        max_link_utilization=max_util,
+    )
+
+
+def _routes_avoiding_pair(
+    topology: Topology, banned: tuple[int, int]
+) -> dict[tuple[int, int], list[int]]:
+    """Shortest hybrid routes that never traverse the banned site pair."""
+    from scipy.sparse.csgraph import shortest_path as _sp
+
+    design = topology.design
+    w = design.fiber_km.copy()
+    for a, b in topology.mw_links:
+        m = design.mw_km[a, b]
+        if m < w[a, b]:
+            w[a, b] = w[b, a] = m
+    w[banned[0], banned[1]] = w[banned[1], banned[0]] = np.inf
+    np.fill_diagonal(w, 0.0)
+    _, predecessors = _sp(w, method="FW", directed=False, return_predecessors=True)
+    n = design.n_sites
+    out: dict[tuple[int, int], list[int]] = {}
+    for s in range(n):
+        for t in range(s + 1, n):
+            if design.traffic[s, t] <= 0:
+                continue
+            path = [t]
+            node = t
+            ok = True
+            while node != s:
+                node = int(predecessors[s, node])
+                if node < 0:
+                    ok = False
+                    break
+                path.append(node)
+            if ok:
+                path.reverse()
+                out[(s, t)] = path
+    return out
+
+
+def run_failure_reroute_experiment(
+    topology: Topology,
+    design_aggregate_gbps: float,
+    failed_link: tuple[int, int],
+    fail_at_s: float = 0.3,
+    reroute_delay_s: float = 0.3,
+    duration_s: float = 1.2,
+    input_rate_fraction: float = 0.5,
+    rate_scale: float = 1e-3,
+    min_flow_rate_fraction: float = 2e-4,
+    seed: int = 0,
+) -> FailureRerouteResult:
+    """Fail one MW link mid-run, then reroute around it (§6.1).
+
+    The paper argues weather failures are predictable minutes ahead, so
+    "even slow, centralized management would suffice to anticipate
+    failures and reroute".  This experiment quantifies the difference:
+    packets black-hole between ``fail_at_s`` and the reroute, then flow
+    loss returns to its pre-failure level on the recomputed paths.
+    """
+    failed_link = (min(failed_link), max(failed_link))
+    if failed_link not in topology.mw_links:
+        raise ValueError(f"{failed_link} is not a built MW link")
+    if not 0 < fail_at_s < fail_at_s + reroute_delay_s < duration_s:
+        raise ValueError("need 0 < fail_at < fail_at + reroute_delay < duration")
+    design = topology.design
+    specs = build_edge_specs(topology, design_aggregate_gbps, rate_scale=rate_scale)
+    reduced = Topology(
+        design=design, mw_links=topology.mw_links - {failed_link}
+    )
+    # The post-failure routing may use fiber edges the original routing
+    # did not; add specs for any edge its paths traverse.
+    pre_routes = _routes_avoiding_pair(reduced, failed_link)
+    seen = {(s.a, s.b) for s in specs} | {(s.b, s.a) for s in specs}
+    for path in pre_routes.values():
+        for u, v in zip(path[:-1], path[1:]):
+            key = (str(min(u, v)), str(max(u, v)))
+            if key in seen:
+                continue
+            edge = (min(u, v), max(u, v))
+            specs.append(
+                EdgeSpec(
+                    a=key[0],
+                    b=key[1],
+                    rate_bps=100e9 * rate_scale,
+                    delay_s=design.fiber_km[edge] / SPEED_OF_LIGHT_KM_S,
+                    queue_capacity=200,
+                )
+            )
+            seen.add(key)
+            seen.add((key[1], key[0]))
+    sim = Simulator()
+    net = Network.from_edges(sim, specs)
+    monitor = FlowMonitor(sim)
+    for link in net.links.values():
+        monitor.watch_link(link)
+
+    routes = topology.routed_paths()
+    # Post-failure routes must avoid the failed *site pair* entirely: in
+    # the simulated network the MW link and the (hypothetical) direct
+    # fiber between the same pair share one edge, and that edge is down.
+    new_routes = pre_routes
+    total_h = np.triu(design.traffic, k=1).sum()
+    offered_bps = (
+        design_aggregate_gbps * 1e9 * rate_scale * input_rate_fraction
+    )
+    kept: list[tuple[tuple[int, int], float]] = []
+    kept_mass = 0.0
+    for (s, t), _path in routes.items():
+        h = design.traffic[s, t] / total_h
+        if h >= min_flow_rate_fraction:
+            kept.append(((s, t), h))
+            kept_mass += h
+
+    def crosses_failed(path: list[int]) -> bool:
+        a, b = failed_link
+        return any(
+            (min(u, v), max(u, v)) == (a, b) for u, v in zip(path[:-1], path[1:])
+        )
+
+    flows: dict[int, UdpFlow] = {}
+    affected: list[tuple[int, tuple[int, int], float]] = []
+    flow_id = 0
+    for (s, t), h in kept:
+        path = tuple(str(v) for v in routes[(s, t)])
+        flow = UdpFlow(
+            sim, net, monitor, flow_id, path,
+            rate_bps=offered_bps * h / kept_mass,
+            seed=seed * 7919 + flow_id,
+        )
+        flow.start()
+        flows[flow_id] = flow
+        if crosses_failed(routes[(s, t)]):
+            affected.append((flow_id, (s, t), h))
+        flow_id += 1
+
+    # Window loss accounting via snapshots of monitor totals.
+    snapshots: dict[str, tuple[int, int]] = {}
+
+    def snap(label: str) -> None:
+        snapshots[label] = (monitor.total_sent, monitor.total_dropped)
+
+    def fail() -> None:
+        snap("fail")
+        for u, v in ((failed_link[0], failed_link[1]), (failed_link[1], failed_link[0])):
+            key = (str(u), str(v))
+            if key in net.links:
+                net.links[key].set_down()
+
+    next_flow_id = [flow_id]
+
+    def reroute() -> None:
+        snap("reroute")
+        for fid, (s, t), h in affected:
+            flows[fid].stop()
+            if (s, t) not in new_routes:
+                continue
+            path = tuple(str(v) for v in new_routes[(s, t)])
+            replacement = UdpFlow(
+                sim, net, monitor, next_flow_id[0], path,
+                rate_bps=offered_bps * h / kept_mass,
+                seed=seed * 104729 + next_flow_id[0],
+            )
+            replacement.start(at=sim.now)
+            next_flow_id[0] += 1
+
+    sim.schedule_at(fail_at_s, fail)
+    sim.schedule_at(fail_at_s + reroute_delay_s, reroute)
+    sim.run(until=duration_s)
+    snap("end")
+
+    def window_loss(a: str, b: str) -> float:
+        sent = snapshots[b][0] - snapshots[a][0]
+        dropped = snapshots[b][1] - snapshots[a][1]
+        return dropped / sent if sent > 0 else 0.0
+
+    snapshots["start"] = (0, 0)
+    return FailureRerouteResult(
+        loss_before=window_loss("start", "fail"),
+        loss_during_outage=window_loss("fail", "reroute"),
+        loss_after_reroute=window_loss("reroute", "end"),
+        flows_rerouted=len(affected),
+    )

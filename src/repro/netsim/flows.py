@@ -1,0 +1,83 @@
+"""UDP traffic sources (paper §5: uniform 500-byte UDP packets)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .engine import Simulator
+from .monitor import FlowMonitor
+from .network import Network
+from .packets import Packet
+
+#: The paper's uniform UDP packet size.
+DEFAULT_UDP_PACKET_BYTES = 500
+
+
+class UdpFlow:
+    """A Poisson (or CBR) packet source along a fixed path.
+
+    Attributes:
+        flow_id: unique id (used for monitor bookkeeping).
+        path: node names from source to destination.
+        rate_bps: mean offered load.
+        packet_bytes: wire size per packet.
+        poisson: exponential inter-arrivals if True, constant otherwise.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        monitor: FlowMonitor,
+        flow_id: int,
+        path: tuple[str, ...],
+        rate_bps: float,
+        packet_bytes: int = DEFAULT_UDP_PACKET_BYTES,
+        poisson: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if len(path) < 2:
+            raise ValueError("path needs at least two nodes")
+        self.sim = sim
+        self.network = network
+        self.monitor = monitor
+        self.flow_id = flow_id
+        self.path = tuple(path)
+        self.rate_bps = rate_bps
+        self.packet_bytes = packet_bytes
+        self.poisson = poisson
+        self._rng = np.random.default_rng(seed)
+        self._interval = packet_bytes * 8 / rate_bps
+        self._stopped = False
+        network.nodes[self.path[-1]].on_deliver_flow(
+            flow_id, monitor.record_delivered
+        )
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin generating packets at virtual time ``at``."""
+        self.sim.schedule_at(at + self._next_gap(), self._emit)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _next_gap(self) -> float:
+        if self.poisson:
+            return float(self._rng.exponential(self._interval))
+        return self._interval
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        packet = Packet(
+            flow_id=self.flow_id,
+            src=self.path[0],
+            dst=self.path[-1],
+            size_bytes=self.packet_bytes,
+            path=self.path,
+            created_at=self.sim.now,
+        )
+        self.monitor.record_sent(packet)
+        self.network.nodes[self.path[0]].inject(packet)
+        self.sim.schedule(self._next_gap(), self._emit)

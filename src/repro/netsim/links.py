@@ -1,0 +1,135 @@
+"""Links and drop-tail queues.
+
+A :class:`Link` is unidirectional: it serializes packets at its line
+rate out of a FIFO drop-tail queue, then delivers them after the
+propagation delay.  Utilization and queue-occupancy accounting is built
+in (the paper adds a link-utilization module to ns-3's FlowMonitor; here
+it is native).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .engine import Simulator
+from .packets import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .nodes import Node
+
+#: Default queue capacity, packets.
+DEFAULT_QUEUE_PACKETS = 100
+
+
+class Link:
+    """A unidirectional link with a drop-tail FIFO.
+
+    Attributes:
+        name: label for diagnostics ("A->B").
+        rate_bps: line rate, bits/second.
+        delay_s: propagation delay, seconds.
+        queue_capacity: maximum queued packets (excluding the one in
+            transmission); arrivals beyond it are dropped.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        delay_s: float,
+        queue_capacity: int = DEFAULT_QUEUE_PACKETS,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        if queue_capacity < 0:
+            raise ValueError("queue capacity must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.queue_capacity = queue_capacity
+        self.peer: "Node | None" = None
+        self._queue: list[Packet] = []
+        self._busy = False
+        self.tx_packets = 0
+        self.tx_bits = 0
+        self.dropped_packets = 0
+        self.busy_time_s = 0.0
+        self._up = True
+        self._on_drop: Callable[[Packet], None] | None = None
+
+    def attach(self, peer: "Node") -> None:
+        """Set the receiving node."""
+        self.peer = peer
+
+    def on_drop(self, callback: Callable[[Packet], None]) -> None:
+        """Register a drop observer (used by the flow monitor)."""
+        self._on_drop = callback
+
+    @property
+    def queue_length(self) -> int:
+        """Packets currently waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def set_down(self) -> None:
+        """Fail the link: queued and future packets are dropped until
+        :meth:`set_up` (models a weather outage, §6.1)."""
+        self._up = False
+        for packet in self._queue:
+            self.dropped_packets += 1
+            if self._on_drop is not None:
+                self._on_drop(packet)
+        self._queue.clear()
+
+    def set_up(self) -> None:
+        """Restore a failed link."""
+        self._up = True
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue a packet for transmission, dropping if full or down."""
+        if self.peer is None:
+            raise RuntimeError(f"link {self.name} has no peer attached")
+        if not self._up:
+            self.dropped_packets += 1
+            if self._on_drop is not None:
+                self._on_drop(packet)
+            return
+        if self._busy:
+            if self.queue_capacity and len(self._queue) >= self.queue_capacity:
+                self.dropped_packets += 1
+                if self._on_drop is not None:
+                    self._on_drop(packet)
+                return
+            self._queue.append(packet)
+        else:
+            self._transmit(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        self._busy = True
+        tx_time = packet.size_bits / self.rate_bps
+        self.busy_time_s += tx_time
+        self.tx_packets += 1
+        self.tx_bits += packet.size_bits
+        self.sim.schedule(tx_time, lambda: self._finish(packet))
+
+    def _finish(self, packet: Packet) -> None:
+        # Propagation, then delivery at the peer.
+        peer = self.peer
+        self.sim.schedule(self.delay_s, lambda: peer.receive(packet))
+        if self._queue:
+            self._transmit(self._queue.pop(0))
+        else:
+            self._busy = False
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` spent transmitting."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        return min(self.busy_time_s / elapsed_s, 1.0)

@@ -1,0 +1,116 @@
+"""Per-flow and per-link measurement (FlowMonitor equivalent, §5).
+
+The paper uses ns-3's FlowMonitor for delay and loss and adds a custom
+module for link utilization.  :class:`FlowMonitor` aggregates per-flow
+sent/received counts and delay statistics; :class:`QueueSampler` records
+queue occupancy over time for percentile reporting (Fig 6a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .engine import Simulator
+from .links import Link
+from .packets import Packet
+
+
+@dataclass
+class FlowStats:
+    """Counters for one flow."""
+
+    sent: int = 0
+    received: int = 0
+    dropped: int = 0
+    delays: list[float] = field(default_factory=list)
+
+    @property
+    def loss_rate(self) -> float:
+        return self.dropped / self.sent if self.sent else 0.0
+
+    @property
+    def mean_delay_s(self) -> float:
+        return float(np.mean(self.delays)) if self.delays else 0.0
+
+
+class FlowMonitor:
+    """Network-wide delay/loss bookkeeping."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.flows: dict[int, FlowStats] = {}
+
+    def _stats(self, flow_id: int) -> FlowStats:
+        return self.flows.setdefault(flow_id, FlowStats())
+
+    def record_sent(self, packet: Packet) -> None:
+        self._stats(packet.flow_id).sent += 1
+
+    def record_delivered(self, packet: Packet) -> None:
+        stats = self._stats(packet.flow_id)
+        stats.received += 1
+        stats.delays.append(self.sim.now - packet.created_at)
+
+    def record_dropped(self, packet: Packet) -> None:
+        self._stats(packet.flow_id).dropped += 1
+
+    def watch_link(self, link: Link) -> None:
+        """Count this link's drops against the owning flows."""
+        link.on_drop(self.record_dropped)
+
+    # -- aggregates ------------------------------------------------------
+    @property
+    def total_sent(self) -> int:
+        return sum(s.sent for s in self.flows.values())
+
+    @property
+    def total_received(self) -> int:
+        return sum(s.received for s in self.flows.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(s.dropped for s in self.flows.values())
+
+    def overall_loss_rate(self) -> float:
+        sent = self.total_sent
+        return self.total_dropped / sent if sent else 0.0
+
+    def mean_delay_s(self) -> float:
+        all_delays = [d for s in self.flows.values() for d in s.delays]
+        return float(np.mean(all_delays)) if all_delays else 0.0
+
+    def delay_percentile_s(self, q: float) -> float:
+        all_delays = [d for s in self.flows.values() for d in s.delays]
+        return float(np.percentile(all_delays, q)) if all_delays else 0.0
+
+
+class QueueSampler:
+    """Periodic queue-occupancy sampling for a link."""
+
+    def __init__(self, sim: Simulator, link: Link, interval_s: float = 0.01) -> None:
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.link = link
+        self.interval_s = interval_s
+        self.samples: list[int] = []
+        self._armed = False
+
+    def start(self) -> None:
+        if not self._armed:
+            self._armed = True
+            self.sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        self.samples.append(self.link.queue_length)
+        self.sim.schedule(self.interval_s, self._tick)
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(self.samples, q))
+
+    def median(self) -> float:
+        return self.percentile(50.0)

@@ -1,0 +1,74 @@
+"""Network assembly: nodes + bidirectional links from an edge list."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import Simulator
+from .links import DEFAULT_QUEUE_PACKETS, Link
+from .nodes import Node
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """A bidirectional edge specification.
+
+    Attributes:
+        a / b: endpoint node names.
+        rate_bps: line rate of each direction.
+        delay_s: one-way propagation delay.
+        queue_capacity: drop-tail queue size, packets.
+    """
+
+    a: str
+    b: str
+    rate_bps: float
+    delay_s: float
+    queue_capacity: int = DEFAULT_QUEUE_PACKETS
+
+
+class Network:
+    """A simulated network: named nodes plus directional links."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: dict[str, Node] = {}
+        self.links: dict[tuple[str, str], Link] = {}
+
+    def add_node(self, name: str) -> Node:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name}")
+        node = Node(name)
+        self.nodes[name] = node
+        return node
+
+    def add_edge(self, spec: EdgeSpec) -> None:
+        """Create both directions of a bidirectional edge."""
+        for u, v in ((spec.a, spec.b), (spec.b, spec.a)):
+            if (u, v) in self.links:
+                raise ValueError(f"duplicate edge {u}->{v}")
+            link = Link(
+                self.sim,
+                name=f"{u}->{v}",
+                rate_bps=spec.rate_bps,
+                delay_s=spec.delay_s,
+                queue_capacity=spec.queue_capacity,
+            )
+            link.attach(self.nodes[v])
+            self.nodes[u].connect(link, v)
+            self.links[(u, v)] = link
+
+    @classmethod
+    def from_edges(cls, sim: Simulator, edges: list[EdgeSpec]) -> "Network":
+        """Build a network from edge specs, creating nodes on demand."""
+        net = cls(sim)
+        for e in edges:
+            for name in (e.a, e.b):
+                if name not in net.nodes:
+                    net.add_node(name)
+        for e in edges:
+            net.add_edge(e)
+        return net
+
+    def link(self, u: str, v: str) -> Link:
+        return self.links[(u, v)]

@@ -1,0 +1,80 @@
+"""Nodes: source-routed forwarding and local delivery."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .links import Link
+from .packets import Packet
+
+
+class Node:
+    """A router/host that forwards source-routed packets.
+
+    Packets carry their full node path; the node looks up the link to
+    the next hop and hands the packet over.  Locally destined packets go
+    to the registered delivery handler (flow monitor, TCP endpoint...).
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        self.name = name
+        self._links: dict[str, Link] = {}
+        self._handlers: list[Callable[[Packet], None]] = []
+        self._flow_handlers: dict[int, list[Callable[[Packet], None]]] = {}
+        self.forwarded = 0
+        self.delivered = 0
+
+    def connect(self, link: Link, neighbor: str) -> None:
+        """Register the outgoing link toward ``neighbor``."""
+        self._links[neighbor] = link
+
+    def link_to(self, neighbor: str) -> Link:
+        """The outgoing link toward ``neighbor`` (raises if absent)."""
+        try:
+            return self._links[neighbor]
+        except KeyError:
+            raise KeyError(f"{self.name} has no link to {neighbor}") from None
+
+    def on_deliver(self, handler: Callable[[Packet], None]) -> None:
+        """Register a handler for every locally delivered packet."""
+        self._handlers.append(handler)
+
+    def on_deliver_flow(self, flow_id: int, handler: Callable[[Packet], None]) -> None:
+        """Register a handler for one flow's locally delivered packets.
+
+        Dispatch is keyed by flow id, so many flows terminating at the
+        same node stay O(1) per packet.
+        """
+        self._flow_handlers.setdefault(flow_id, []).append(handler)
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a packet from an incoming link."""
+        if packet.path[packet.hop_index + 1] != self.name:
+            raise RuntimeError(
+                f"mis-routed packet at {self.name}: path {packet.path}"
+            )
+        packet.hop_index += 1
+        if packet.hop_index == len(packet.path) - 1:
+            self.delivered += 1
+            for handler in self._handlers:
+                handler(packet)
+            for handler in self._flow_handlers.get(packet.flow_id, ()):
+                handler(packet)
+        else:
+            self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        """Send a transiting (or originating) packet to its next hop."""
+        next_hop = packet.next_hop()
+        if next_hop is None:
+            raise RuntimeError("packet already at destination")
+        self.forwarded += 1
+        self.link_to(next_hop).send(packet)
+
+    def inject(self, packet: Packet) -> None:
+        """Originate a packet at this node (hop_index must be 0)."""
+        if packet.path[0] != self.name:
+            raise ValueError("packet does not originate here")
+        self.link_to(packet.path[1]).send(packet)

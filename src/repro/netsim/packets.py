@@ -1,0 +1,56 @@
+"""Packet representation for the event-driven simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes:
+        flow_id: owning flow identifier.
+        src / dst: endpoint node names.
+        size_bytes: wire size.
+        path: node-name sequence from src to dst (source routing).
+        created_at: virtual time of creation.
+        seq: per-flow sequence number (used by TCP).
+        is_ack: True for TCP acknowledgment packets.
+        ack_seq: cumulative ACK sequence (TCP).
+        packet_id: globally unique id.
+        hop_index: current position along ``path``.
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: int
+    path: tuple[str, ...]
+    created_at: float
+    seq: int = 0
+    is_ack: bool = False
+    ack_seq: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    hop_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        if len(self.path) < 2:
+            raise ValueError("path needs at least src and dst")
+        if self.path[0] != self.src or self.path[-1] != self.dst:
+            raise ValueError("path endpoints must match src/dst")
+
+    @property
+    def size_bits(self) -> int:
+        return self.size_bytes * 8
+
+    def next_hop(self) -> str | None:
+        """The node after the current one, or None at the destination."""
+        if self.hop_index + 1 < len(self.path):
+            return self.path[self.hop_index + 1]
+        return None

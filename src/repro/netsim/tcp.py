@@ -1,0 +1,250 @@
+"""A simplified TCP with optional pacing (paper §5, "speed mismatch").
+
+Models what Fig 6 needs and no more: window-limited transfer of a fixed
+number of bytes with slow start, congestion avoidance, triple-duplicate
+fast retransmit, a coarse retransmission timeout — and, crucially, the
+choice between *burst* transmission (a window opens and every eligible
+packet is shoved onto the first link back-to-back) and *paced*
+transmission (packets are clocked out at cwnd per smoothed RTT).  The
+paper shows pacing eliminates the persistent queue buildup that a 10G
+edge feeding a 100M core otherwise causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import Simulator
+from .monitor import FlowMonitor
+from .network import Network
+from .packets import Packet
+
+#: Sender MSS, bytes (standard Ethernet payload as in §5's 1500 B frames).
+DEFAULT_MSS_BYTES = 1500
+
+#: ACK wire size, bytes.
+ACK_BYTES = 40
+
+
+@dataclass
+class TcpStats:
+    """Completion metrics for one TCP flow."""
+
+    flow_id: int
+    start_time: float
+    completion_time: float | None = None
+    retransmits: int = 0
+    timeouts: int = 0
+
+    @property
+    def fct_s(self) -> float | None:
+        """Flow completion time, seconds (None while running)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.start_time
+
+
+class TcpFlow:
+    """One fixed-size TCP transfer along a fixed forward/reverse path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        monitor: FlowMonitor,
+        flow_id: int,
+        path: tuple[str, ...],
+        total_bytes: int,
+        mss_bytes: int = DEFAULT_MSS_BYTES,
+        initial_cwnd: int = 10,
+        rwnd_packets: int = 42,
+        pacing: bool = False,
+        min_rto_s: float = 0.2,
+    ) -> None:
+        if total_bytes <= 0:
+            raise ValueError("transfer size must be positive")
+        if len(path) < 2:
+            raise ValueError("path needs at least two nodes")
+        self.sim = sim
+        self.network = network
+        self.monitor = monitor
+        self.flow_id = flow_id
+        self.path = tuple(path)
+        self.reverse_path = tuple(reversed(path))
+        self.mss = mss_bytes
+        self.n_packets = max(1, -(-total_bytes // mss_bytes))
+        self.pacing = pacing
+        self.min_rto_s = min_rto_s
+
+        self.cwnd = float(initial_cwnd)
+        self.rwnd = max(int(rwnd_packets), 1)
+        self.ssthresh = float("inf")
+        self.next_seq = 0  # next new sequence to send
+        self.highest_acked = -1  # cumulative
+        self.dup_acks = 0
+        self.srtt: float | None = None
+        self.stats = TcpStats(flow_id=flow_id, start_time=0.0)
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
+        self._last_rtt: float | None = None
+        self._done = False
+        self._pacing_timer_armed = False
+        self._rto_deadline: float | None = None
+        self._retransmit_seq: int | None = None
+
+        # Receive ACKs at the source; generate ACKs at the destination.
+        # Both are keyed by flow id so shared endpoints stay O(1).
+        network.nodes[self.path[0]].on_deliver_flow(flow_id, self._on_packet_at_src)
+        network.nodes[self.path[-1]].on_deliver_flow(flow_id, self._on_packet_at_dst)
+
+    # -- sending ---------------------------------------------------------
+    def start(self, at: float = 0.0) -> None:
+        def _go() -> None:
+            self.stats.start_time = self.sim.now
+            self._try_send()
+            self._arm_rto()
+
+        self.sim.schedule_at(at, _go)
+
+    @property
+    def inflight(self) -> int:
+        return self.next_seq - (self.highest_acked + 1)
+
+    @property
+    def effective_window(self) -> int:
+        """Sender window: congestion window capped by the receive window."""
+        return min(int(self.cwnd), self.rwnd)
+
+    def _try_send(self) -> None:
+        if self._done:
+            return
+        if self.pacing:
+            if not self._pacing_timer_armed:
+                self._pace_tick()
+        else:
+            while (
+                self.inflight < self.effective_window
+                and self.next_seq < self.n_packets
+            ):
+                self._send_seq(self.next_seq)
+                self.next_seq += 1
+
+    def _pace_tick(self) -> None:
+        if self._done:
+            self._pacing_timer_armed = False
+            return
+        if self.inflight < self.effective_window and self.next_seq < self.n_packets:
+            self._send_seq(self.next_seq)
+            self.next_seq += 1
+        if self.next_seq < self.n_packets or self.inflight > 0:
+            self._pacing_timer_armed = True
+            # Pace against the *latest* RTT sample: queueing feedback
+            # reaches the pacer within one round trip, which is what
+            # keeps the standing queue near zero.
+            candidates = [r for r in (self.srtt, self._last_rtt) if r is not None]
+            rtt = max(candidates) if candidates else 0.02
+            interval = rtt / max(self.effective_window, 1.0)
+            self.sim.schedule(interval, self._pace_tick)
+        else:
+            self._pacing_timer_armed = False
+
+    def _send_seq(self, seq: int, retransmit: bool = False) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            src=self.path[0],
+            dst=self.path[-1],
+            size_bytes=self.mss,
+            path=self.path,
+            created_at=self.sim.now,
+            seq=seq,
+        )
+        if retransmit:
+            self.stats.retransmits += 1
+            self._retransmitted.add(seq)
+        elif seq not in self._send_times:
+            self._send_times[seq] = self.sim.now
+        self.monitor.record_sent(packet)
+        self.network.nodes[self.path[0]].inject(packet)
+
+    # -- receiving -------------------------------------------------------
+    def _on_packet_at_dst(self, packet: Packet) -> None:
+        if packet.flow_id != self.flow_id or packet.is_ack:
+            return
+        self.monitor.record_delivered(packet)
+        # Cumulative ACK semantics via receiver state.
+        if not hasattr(self, "_rcv_seen"):
+            self._rcv_seen: set[int] = set()
+            self._rcv_next = 0
+        self._rcv_seen.add(packet.seq)
+        while self._rcv_next in self._rcv_seen:
+            self._rcv_next += 1
+        ack = Packet(
+            flow_id=self.flow_id,
+            src=self.path[-1],
+            dst=self.path[0],
+            size_bytes=ACK_BYTES,
+            path=self.reverse_path,
+            created_at=self.sim.now,
+            is_ack=True,
+            ack_seq=self._rcv_next - 1,
+        )
+        self.network.nodes[self.path[-1]].inject(ack)
+
+    def _on_packet_at_src(self, packet: Packet) -> None:
+        if packet.flow_id != self.flow_id or not packet.is_ack or self._done:
+            return
+        # Karn's rule: sample RTT only from never-retransmitted segments,
+        # measured send-to-ACK (queueing included, so pacing adapts).
+        acked_seq = packet.ack_seq
+        sent_at = self._send_times.get(acked_seq)
+        if sent_at is not None and acked_seq not in self._retransmitted:
+            rtt = self.sim.now - sent_at
+            self.srtt = (
+                rtt if self.srtt is None else 0.875 * self.srtt + 0.125 * rtt
+            )
+            self._last_rtt = rtt
+
+        if packet.ack_seq > self.highest_acked:
+            newly = packet.ack_seq - self.highest_acked
+            self.highest_acked = packet.ack_seq
+            self.dup_acks = 0
+            if self.cwnd < self.ssthresh:
+                self.cwnd += float(newly)  # slow start
+            else:
+                self.cwnd += float(newly) / self.cwnd  # congestion avoidance
+            self._arm_rto()
+            if self.highest_acked >= self.n_packets - 1:
+                self._complete()
+                return
+            self._try_send()
+        else:
+            self.dup_acks += 1
+            if self.dup_acks == 3:
+                # Fast retransmit + multiplicative decrease.
+                self.ssthresh = max(self.cwnd / 2.0, 2.0)
+                self.cwnd = self.ssthresh
+                self._send_seq(self.highest_acked + 1, retransmit=True)
+                self._arm_rto()
+
+    # -- timers ----------------------------------------------------------
+    def _arm_rto(self) -> None:
+        rto = max(self.min_rto_s, 4.0 * (self.srtt or 0.05))
+        self._rto_deadline = self.sim.now + rto
+        self.sim.schedule(rto, self._check_rto)
+
+    def _check_rto(self) -> None:
+        if self._done or self._rto_deadline is None:
+            return
+        if self.sim.now + 1e-12 < self._rto_deadline:
+            return  # superseded by a newer deadline
+        if self.inflight > 0 or self.next_seq < self.n_packets:
+            self.stats.timeouts += 1
+            self.ssthresh = max(self.cwnd / 2.0, 2.0)
+            self.cwnd = 2.0
+            self._send_seq(self.highest_acked + 1, retransmit=True)
+            self._arm_rto()
+
+    def _complete(self) -> None:
+        self._done = True
+        self._rto_deadline = None
+        self.stats.completion_time = self.sim.now

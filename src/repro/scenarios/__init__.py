@@ -1,0 +1,25 @@
+"""Pre-assembled scenarios: US, Europe, and data-center deployments."""
+
+from .base import Scenario, build_scenario
+from .europe import EU_FIBER_STRETCH, europe_scenario
+from .interdc import (
+    city_dc_scenario,
+    city_dc_traffic,
+    dc_dc_traffic,
+    dc_indices,
+    interdc_scenario,
+)
+from .us import us_scenario
+
+__all__ = [
+    "Scenario",
+    "build_scenario",
+    "EU_FIBER_STRETCH",
+    "europe_scenario",
+    "city_dc_scenario",
+    "city_dc_traffic",
+    "dc_dc_traffic",
+    "dc_indices",
+    "interdc_scenario",
+    "us_scenario",
+]

@@ -1,0 +1,170 @@
+"""Tower registry: storage, culling, and spatial queries.
+
+Substitute for the FCC Antenna Structure Registration database plus the
+commercial rental-company databases (American Towers, Crown Castle, ...)
+used in §4.  A :class:`TowerRegistry` holds towers and implements the
+paper's culling rules:
+
+* rental-company towers are always kept ("typically suitable for use");
+* FCC towers are kept only above a height threshold (paper: 100 m);
+* when density exceeds a cap per 0.5-degree grid cell, towers are
+  randomly sampled down to the cap.
+
+A simple uniform grid index provides radius queries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geo.coords import GeoPoint, haversine_km
+
+#: Paper's FCC height cutoff, metres.
+DEFAULT_MIN_FCC_HEIGHT_M = 100.0
+
+#: Paper's density cap: 50 towers per 0.5-degree square grid cell.
+DEFAULT_DENSITY_CAP = 50
+DEFAULT_DENSITY_CELL_DEG = 0.5
+
+
+@dataclass(frozen=True)
+class Tower:
+    """A transmission tower.
+
+    Attributes:
+        tower_id: unique integer id within a registry.
+        lat: latitude, degrees.
+        lon: longitude, degrees.
+        height_m: structural height above ground.
+        source: provenance tag, "fcc" or "rental".
+    """
+
+    tower_id: int
+    lat: float
+    lon: float
+    height_m: float
+    source: str = "fcc"
+
+    def __post_init__(self) -> None:
+        if self.height_m <= 0:
+            raise ValueError("tower height must be positive")
+        if self.source not in ("fcc", "rental", "city"):
+            raise ValueError(f"unknown tower source {self.source!r}")
+
+    @property
+    def point(self) -> GeoPoint:
+        return GeoPoint(self.lat, self.lon)
+
+
+class TowerRegistry:
+    """An indexed collection of towers with the paper's culling rules."""
+
+    def __init__(self, towers: list[Tower], index_cell_deg: float = 0.5):
+        if index_cell_deg <= 0:
+            raise ValueError("index cell size must be positive")
+        self._towers = list(towers)
+        self._cell_deg = index_cell_deg
+        self._grid: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for i, t in enumerate(self._towers):
+            self._grid[self._cell(t.lat, t.lon)].append(i)
+
+    def _cell(self, lat: float, lon: float) -> tuple[int, int]:
+        return (int(np.floor(lat / self._cell_deg)), int(np.floor(lon / self._cell_deg)))
+
+    def __len__(self) -> int:
+        return len(self._towers)
+
+    def __iter__(self):
+        return iter(self._towers)
+
+    def __getitem__(self, tower_id: int) -> Tower:
+        return self._towers[tower_id]
+
+    @property
+    def towers(self) -> list[Tower]:
+        return list(self._towers)
+
+    def coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lats, lons) arrays over all towers, in registry order."""
+        lats = np.array([t.lat for t in self._towers])
+        lons = np.array([t.lon for t in self._towers])
+        return lats, lons
+
+    def near(self, point: GeoPoint, radius_km: float) -> list[Tower]:
+        """All towers within ``radius_km`` of ``point``."""
+        if radius_km < 0:
+            raise ValueError("radius must be non-negative")
+        # Conservative cell search window.
+        lat_pad = radius_km / 110.0 + self._cell_deg
+        lon_pad = radius_km / (111.0 * max(np.cos(np.radians(point.lat)), 0.1)) + self._cell_deg
+        lat_lo, lat_hi = point.lat - lat_pad, point.lat + lat_pad
+        lon_lo, lon_hi = point.lon - lon_pad, point.lon + lon_pad
+        out = []
+        ci_lo, _ = self._cell(lat_lo, 0)
+        ci_hi, _ = self._cell(lat_hi, 0)
+        _, cj_lo = self._cell(0, lon_lo)
+        _, cj_hi = self._cell(0, lon_hi)
+        for ci in range(ci_lo, ci_hi + 1):
+            for cj in range(cj_lo, cj_hi + 1):
+                for idx in self._grid.get((ci, cj), ()):
+                    t = self._towers[idx]
+                    if haversine_km(point.lat, point.lon, t.lat, t.lon) <= radius_km:
+                        out.append(t)
+        return out
+
+    def count_near(self, point: GeoPoint, radius_km: float) -> int:
+        """Number of towers within ``radius_km`` of ``point``."""
+        return len(self.near(point, radius_km))
+
+
+@dataclass(frozen=True)
+class CullingPolicy:
+    """The paper's database-culling parameters (§4).
+
+    Attributes:
+        min_fcc_height_m: keep FCC towers only above this height.
+        density_cap: max towers kept per grid cell.
+        density_cell_deg: grid cell edge, degrees.
+        seed: RNG seed for the random down-sampling step.
+    """
+
+    min_fcc_height_m: float = DEFAULT_MIN_FCC_HEIGHT_M
+    density_cap: int = DEFAULT_DENSITY_CAP
+    density_cell_deg: float = DEFAULT_DENSITY_CELL_DEG
+    seed: int = 0
+
+
+def cull_towers(towers: list[Tower], policy: CullingPolicy | None = None) -> list[Tower]:
+    """Apply the paper's culling rules and return the surviving towers.
+
+    Ids are re-assigned contiguously so the result can seed a fresh
+    :class:`TowerRegistry`.
+    """
+    policy = policy or CullingPolicy()
+    eligible = [
+        t
+        for t in towers
+        if t.source in ("rental", "city") or t.height_m >= policy.min_fcc_height_m
+    ]
+    cells: dict[tuple[int, int], list[Tower]] = defaultdict(list)
+    for t in eligible:
+        key = (
+            int(np.floor(t.lat / policy.density_cell_deg)),
+            int(np.floor(t.lon / policy.density_cell_deg)),
+        )
+        cells[key].append(t)
+    rng = np.random.default_rng(policy.seed)
+    kept: list[Tower] = []
+    for key in sorted(cells):
+        group = cells[key]
+        if len(group) > policy.density_cap:
+            chosen = rng.choice(len(group), size=policy.density_cap, replace=False)
+            group = [group[i] for i in sorted(chosen)]
+        kept.extend(group)
+    return [
+        Tower(tower_id=i, lat=t.lat, lon=t.lon, height_m=t.height_m, source=t.source)
+        for i, t in enumerate(kept)
+    ]

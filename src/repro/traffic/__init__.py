@@ -1,0 +1,19 @@
+"""Traffic matrices: population product, DC models, mixes, perturbations."""
+
+from .matrices import (
+    city_to_dc_matrix,
+    dc_to_dc_matrix,
+    demands_gbps,
+    mixed_matrix,
+    perturbed_population_matrix,
+    population_product_matrix,
+)
+
+__all__ = [
+    "city_to_dc_matrix",
+    "dc_to_dc_matrix",
+    "demands_gbps",
+    "mixed_matrix",
+    "perturbed_population_matrix",
+    "population_product_matrix",
+]

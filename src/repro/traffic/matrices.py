@@ -1,0 +1,127 @@
+"""Traffic matrices (paper §4, §6.3, §6.4).
+
+The paper's primary model sets h_ij proportional to the product of the
+populations of cities i and j.  Two alternative deployment models are
+studied: uniform traffic between data centers (DC-DC), and traffic from
+each city to its nearest data center, proportional to city population
+(city-DC).  Section 6.4 mixes the three in ratios like 4:3:3 and §5
+perturbs populations by a factor drawn from U[1-gamma, 1+gamma].
+
+A traffic matrix here is a dense symmetric (n, n) numpy array with a
+zero diagonal.  Matrices are normalized so entries sum to 1 over the
+upper triangle; scaling to an aggregate demand in Gbps happens at the
+point of use (capacity augmentation, packet simulation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.sites import Site
+from ..geo.coords import haversine_km
+
+
+def _normalize(matrix: np.ndarray) -> np.ndarray:
+    """Scale a symmetric demand matrix so the upper triangle sums to 1."""
+    upper = np.triu(matrix, k=1)
+    total = upper.sum()
+    if total <= 0:
+        raise ValueError("traffic matrix has no demand")
+    result = matrix / total
+    np.fill_diagonal(result, 0.0)
+    return result
+
+
+def population_product_matrix(sites: list[Site]) -> np.ndarray:
+    """h_ij ~ population_i * population_j (the paper's city-city model)."""
+    pops = np.array([float(s.population) for s in sites])
+    if np.all(pops == 0):
+        raise ValueError("all sites have zero population")
+    h = np.outer(pops, pops)
+    np.fill_diagonal(h, 0.0)
+    return _normalize(h)
+
+
+def perturbed_population_matrix(
+    sites: list[Site], gamma: float, seed: int = 0
+) -> np.ndarray:
+    """Population-product matrix with per-city perturbation (§5).
+
+    Each city's population is re-weighted by a factor drawn from
+    U[1 - gamma, 1 + gamma].
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    pops = np.array([float(s.population) for s in sites])
+    weights = rng.uniform(1.0 - gamma, 1.0 + gamma, size=len(sites))
+    h = np.outer(pops * weights, pops * weights)
+    np.fill_diagonal(h, 0.0)
+    return _normalize(h)
+
+
+def dc_to_dc_matrix(sites: list[Site], dc_indices: list[int]) -> np.ndarray:
+    """Equal demand between every data-center pair (§6.3).
+
+    ``dc_indices`` index into ``sites``; all other sites get no demand.
+    """
+    if len(dc_indices) < 2:
+        raise ValueError("need at least two data centers")
+    n = len(sites)
+    h = np.zeros((n, n))
+    for i in dc_indices:
+        for j in dc_indices:
+            if i != j:
+                h[i, j] = 1.0
+    return _normalize(h)
+
+
+def city_to_dc_matrix(sites: list[Site], dc_indices: list[int]) -> np.ndarray:
+    """Each city sends to its nearest DC, proportional to population (§6.3)."""
+    if not dc_indices:
+        raise ValueError("need at least one data center")
+    n = len(sites)
+    dc_set = set(dc_indices)
+    h = np.zeros((n, n))
+    for i, site in enumerate(sites):
+        if i in dc_set or site.population <= 0:
+            continue
+        nearest = min(
+            dc_indices,
+            key=lambda d: haversine_km(site.lat, site.lon, sites[d].lat, sites[d].lon),
+        )
+        h[i, nearest] += float(site.population)
+        h[nearest, i] += float(site.population)
+    return _normalize(h)
+
+
+def mixed_matrix(
+    components: list[tuple[np.ndarray, float]],
+) -> np.ndarray:
+    """Convex mix of normalized traffic matrices (§6.4).
+
+    Args:
+        components: (matrix, weight) pairs; weights need not sum to 1
+            (e.g., the paper's 4:3:3 city-city : city-DC : DC-DC mix).
+    """
+    if not components:
+        raise ValueError("need at least one component")
+    total_w = sum(w for _, w in components)
+    if total_w <= 0:
+        raise ValueError("weights must be positive")
+    n = components[0][0].shape[0]
+    h = np.zeros((n, n))
+    for matrix, weight in components:
+        if matrix.shape != (n, n):
+            raise ValueError("component shapes differ")
+        h += _normalize(matrix) * (weight / total_w)
+    return _normalize(h)
+
+
+def demands_gbps(matrix: np.ndarray, aggregate_gbps: float) -> np.ndarray:
+    """Scale a normalized matrix to an aggregate demand (sum of all
+    site-site demands) in Gbps.  Returns a symmetric matrix whose upper
+    triangle sums to ``aggregate_gbps``."""
+    if aggregate_gbps <= 0:
+        raise ValueError("aggregate demand must be positive")
+    return _normalize(matrix) * aggregate_gbps

@@ -1,0 +1,110 @@
+"""Text rendering of designed networks (the paper's Fig 3 / Fig 8 maps).
+
+Renders a designed topology as an ASCII map: sites as ``o`` (capitals
+``O`` for the most populous), microwave links as line characters whose
+glyph encodes the augmentation level (the paper's blue/green/red color
+coding), and fiber fallbacks as dots.  Useful for eyeballing designs in
+a terminal and in the examples; no plotting dependencies required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.augmentation import AugmentationResult
+from .core.topology import Topology
+
+#: Glyph per augmentation level: existing towers only / 1 new series /
+#: 2+ new series (Fig 3's blue, green, red).
+LEVEL_GLYPHS = {0: "-", 1: "=", 2: "#"}
+
+
+def _canvas_coords(lats, lons, width, height):
+    lat_lo, lat_hi = float(np.min(lats)), float(np.max(lats))
+    lon_lo, lon_hi = float(np.min(lons)), float(np.max(lons))
+    lat_span = max(lat_hi - lat_lo, 1e-6)
+    lon_span = max(lon_hi - lon_lo, 1e-6)
+
+    def to_xy(lat, lon):
+        x = int(round((lon - lon_lo) / lon_span * (width - 1)))
+        y = int(round((lat_hi - lat) / lat_span * (height - 1)))
+        return x, y
+
+    return to_xy
+
+
+def _draw_line(grid, x0, y0, x1, y1, glyph):
+    """Bresenham; never overwrites site markers."""
+    dx = abs(x1 - x0)
+    dy = abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    err = dx - dy
+    x, y = x0, y0
+    while True:
+        if grid[y][x] not in ("o", "O"):
+            grid[y][x] = glyph
+        if x == x1 and y == y1:
+            break
+        e2 = 2 * err
+        if e2 > -dy:
+            err -= dy
+            x += sx
+        if e2 < dx:
+            err += dx
+            y += sy
+
+
+def render_topology(
+    topology: Topology,
+    augmentation: AugmentationResult | None = None,
+    width: int = 100,
+    height: int = 30,
+    n_labels: int = 8,
+) -> str:
+    """ASCII map of a designed network.
+
+    Args:
+        topology: the designed topology.
+        augmentation: optional Step-3 result; when given, link glyphs
+            encode how many parallel series each link needed
+            (``-`` = 1, ``=`` = 2, ``#`` = 3+), mirroring Fig 3's
+            color coding.
+        width / height: canvas size in characters.
+        n_labels: how many of the most populous sites to label.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("canvas too small")
+    sites = topology.design.sites
+    lats = np.array([s.lat for s in sites])
+    lons = np.array([s.lon for s in sites])
+    to_xy = _canvas_coords(lats, lons, width, height)
+    grid = [[" "] * width for _ in range(height)]
+
+    series = {}
+    if augmentation is not None:
+        series = {p.link: p.n_series for p in augmentation.provisions}
+
+    for a, b in sorted(topology.mw_links):
+        x0, y0 = to_xy(sites[a].lat, sites[a].lon)
+        x1, y1 = to_xy(sites[b].lat, sites[b].lon)
+        k = series.get((a, b), 1)
+        glyph = LEVEL_GLYPHS[min(max(k - 1, 0), 2)]
+        _draw_line(grid, x0, y0, x1, y1, glyph)
+
+    big = sorted(range(len(sites)), key=lambda i: -sites[i].population)
+    big_set = set(big[: max(n_labels, 1)])
+    for i, site in enumerate(sites):
+        x, y = to_xy(site.lat, site.lon)
+        grid[y][x] = "O" if i in big_set else "o"
+
+    lines = ["".join(row).rstrip() for row in grid]
+    legend = [
+        "",
+        "O major site   o site   - MW link (existing towers)   "
+        "= 2 series   # 3+ series",
+    ]
+    label_line = "labels: " + ", ".join(
+        sites[i].name for i in big[: max(n_labels, 1)]
+    )
+    return "\n".join(lines + legend + [label_line])

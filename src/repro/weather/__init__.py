@@ -1,0 +1,59 @@
+"""Weather: precipitation fields, rain attenuation, failures, traces."""
+
+from .attenuation import (
+    effective_path_km,
+    hop_fails,
+    path_attenuation_db,
+    rain_coefficients,
+    specific_attenuation_db_per_km,
+)
+from .degradation import (
+    GradedComparison,
+    graded_capacity_fraction,
+    graded_yearly_comparison,
+)
+from .failures import (
+    YearlyStretchResult,
+    distances_with_failures,
+    failed_links,
+    link_hop_segments,
+    yearly_stretch_analysis,
+)
+from .loss_traces import (
+    MINUTES_PER_TRADING_DAY,
+    PAPER_TRACE_MINUTES,
+    LossTrace,
+    synthesize_hft_trace,
+)
+from .precipitation import (
+    EU_CLIMATE,
+    US_CLIMATE,
+    PrecipitationYear,
+    RegionClimate,
+    StormCell,
+)
+
+__all__ = [
+    "GradedComparison",
+    "graded_capacity_fraction",
+    "graded_yearly_comparison",
+    "effective_path_km",
+    "hop_fails",
+    "path_attenuation_db",
+    "rain_coefficients",
+    "specific_attenuation_db_per_km",
+    "YearlyStretchResult",
+    "distances_with_failures",
+    "failed_links",
+    "link_hop_segments",
+    "yearly_stretch_analysis",
+    "MINUTES_PER_TRADING_DAY",
+    "PAPER_TRACE_MINUTES",
+    "LossTrace",
+    "synthesize_hft_trace",
+    "EU_CLIMATE",
+    "US_CLIMATE",
+    "PrecipitationYear",
+    "RegionClimate",
+    "StormCell",
+]

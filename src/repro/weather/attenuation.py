@@ -1,0 +1,95 @@
+"""Rain attenuation per ITU-R P.838 (paper §6.1).
+
+The paper computes microwave signal attenuation from precipitation with
+the "standard equations in MW engineering" — the ITU-R P.838 power law:
+
+    gamma = k * R^alpha   [dB/km]
+
+where R is the rain rate (mm/h) and (k, alpha) are frequency- and
+polarization-dependent coefficients.  Path attenuation applies gamma
+over an *effective* path length shorter than the physical hop (rain
+cells are finite; ITU-R P.530's distance factor).
+
+A link is treated as failed, in the paper's binary model, when its path
+attenuation exceeds the link's fade margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ITU-R P.838-3 horizontal-polarization coefficients (k_H, alpha_H),
+#: a subset of the published table bracketing the paper's 6-18 GHz band.
+_COEFFS_H: list[tuple[float, float, float]] = [
+    # (frequency GHz, k_H, alpha_H)
+    (4.0, 0.0001071, 1.6009),
+    (6.0, 0.0017500, 1.3080),
+    (7.0, 0.0030100, 1.3320),
+    (8.0, 0.0045400, 1.3270),
+    (10.0, 0.0121700, 1.2571),
+    (12.0, 0.0238600, 1.1825),
+    (15.0, 0.0448100, 1.1233),
+    (20.0, 0.0916400, 1.0568),
+    (25.0, 0.1571000, 0.9991),
+    (30.0, 0.2403000, 0.9485),
+]
+
+
+def rain_coefficients(frequency_ghz: float) -> tuple[float, float]:
+    """(k, alpha) at ``frequency_ghz``, log-interpolated from the table."""
+    freqs = np.array([f for f, _, _ in _COEFFS_H])
+    ks = np.array([k for _, k, _ in _COEFFS_H])
+    alphas = np.array([a for _, _, a in _COEFFS_H])
+    if not freqs[0] <= frequency_ghz <= freqs[-1]:
+        raise ValueError(
+            f"frequency {frequency_ghz} GHz outside table range "
+            f"[{freqs[0]}, {freqs[-1]}]"
+        )
+    log_f = np.log(frequency_ghz)
+    k = float(np.exp(np.interp(log_f, np.log(freqs), np.log(ks))))
+    alpha = float(np.interp(log_f, np.log(freqs), alphas))
+    return k, alpha
+
+
+def specific_attenuation_db_per_km(rain_mm_h, frequency_ghz: float = 11.0):
+    """gamma = k R^alpha, dB/km.  Accepts scalar or array rain rates."""
+    k, alpha = rain_coefficients(frequency_ghz)
+    rain = np.asarray(rain_mm_h, dtype=float)
+    if np.any(rain < 0):
+        raise ValueError("rain rate must be non-negative")
+    result = k * np.power(rain, alpha, where=rain > 0, out=np.zeros_like(rain))
+    if np.ndim(rain_mm_h) == 0:
+        return float(result)
+    return result
+
+
+def effective_path_km(hop_km: float, rain_mm_h: float) -> float:
+    """ITU-R P.530 effective path length through rain.
+
+    d_eff = d / (1 + d/d0),  d0 = 35 exp(-0.015 R)  (R capped at 100).
+    """
+    if hop_km < 0:
+        raise ValueError("hop length must be non-negative")
+    r = min(max(rain_mm_h, 0.0), 100.0)
+    d0 = 35.0 * np.exp(-0.015 * r)
+    return float(hop_km / (1.0 + hop_km / d0))
+
+
+def path_attenuation_db(
+    hop_km: float, rain_mm_h: float, frequency_ghz: float = 11.0
+) -> float:
+    """Total rain attenuation over a hop, dB."""
+    gamma = specific_attenuation_db_per_km(rain_mm_h, frequency_ghz)
+    return float(gamma * effective_path_km(hop_km, rain_mm_h))
+
+
+def hop_fails(
+    hop_km: float,
+    rain_mm_h: float,
+    fade_margin_db: float = 35.0,
+    frequency_ghz: float = 11.0,
+) -> bool:
+    """The paper's binary failure rule: attenuation exceeds the margin."""
+    if fade_margin_db <= 0:
+        raise ValueError("fade margin must be positive")
+    return path_attenuation_db(hop_km, rain_mm_h, frequency_ghz) > fade_margin_db

@@ -1,0 +1,171 @@
+"""Weather-driven link failures and yearly latency analysis (§6.1, Fig 7).
+
+For each sampled interval, every hop of every built MW link is checked
+against the precipitation field: a hop whose rain attenuation exceeds
+the fade margin fails, failing its whole link (the paper's conservative
+binary rule).  Traffic then reroutes over surviving MW links and fiber,
+and per-pair stretch is recomputed.
+
+The yearly analysis reproduces Fig 7's CDFs: per city pair, the best
+(fair-weather) stretch, the 99th-percentile and worst stretch over the
+year, and the fiber-only baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.csgraph import shortest_path
+
+from ..core.topology import Topology
+from ..links.builder import LinkCatalog
+from ..towers.registry import TowerRegistry
+from .attenuation import path_attenuation_db
+from .precipitation import PrecipitationYear
+
+
+@dataclass(frozen=True)
+class YearlyStretchResult:
+    """Per-pair stretch statistics over a sampled year.
+
+    All arrays are flattened over the site pairs (i < j) with finite
+    geodesic separation.
+
+    Attributes:
+        best: fair-weather stretch per pair.
+        p99: 99th-percentile stretch per pair across intervals.
+        worst: worst stretch per pair.
+        fiber: fiber-only stretch per pair.
+        links_failed_per_interval: number of failed MW links per
+            sampled interval.
+    """
+
+    best: np.ndarray
+    p99: np.ndarray
+    worst: np.ndarray
+    fiber: np.ndarray
+    links_failed_per_interval: np.ndarray
+
+
+def link_hop_segments(
+    topology: Topology, catalog: LinkCatalog, registry: TowerRegistry
+) -> dict[tuple[int, int], list[tuple[float, float, float]]]:
+    """Per built link: (mid_lat, mid_lon, hop_km) of each tower hop."""
+    segments: dict[tuple[int, int], list[tuple[float, float, float]]] = {}
+    for link in sorted(topology.mw_links):
+        cand = catalog.link(*link)
+        if cand is None:
+            raise ValueError(f"link {link} missing from catalog")
+        hops = []
+        path = cand.tower_path
+        for u, v in zip(path[:-1], path[1:]):
+            a, b = registry[u], registry[v]
+            hops.append(
+                (
+                    (a.lat + b.lat) / 2.0,
+                    (a.lon + b.lon) / 2.0,
+                    a.point.distance_km(b.point),
+                )
+            )
+        segments[link] = hops
+    return segments
+
+
+def failed_links(
+    segments: dict[tuple[int, int], list[tuple[float, float, float]]],
+    precipitation: PrecipitationYear,
+    day_of_year: int,
+    fade_margin_db: float = 30.0,
+    frequency_ghz: float = 11.0,
+) -> set[tuple[int, int]]:
+    """Links with at least one hop exceeding the fade margin today."""
+    failed: set[tuple[int, int]] = set()
+    # Vectorize the rain query across all hops of all links at once.
+    all_links = list(segments)
+    lats, lons, lens, owner = [], [], [], []
+    for idx, link in enumerate(all_links):
+        for lat, lon, hop_km in segments[link]:
+            lats.append(lat)
+            lons.append(lon)
+            lens.append(hop_km)
+            owner.append(idx)
+    if not lats:
+        return failed
+    rain = precipitation.rain_rate_mm_h(day_of_year, np.array(lats), np.array(lons))
+    for r, hop_km, idx in zip(rain, lens, owner):
+        link = all_links[idx]
+        if link in failed:
+            continue
+        if path_attenuation_db(hop_km, float(r), frequency_ghz) > fade_margin_db:
+            failed.add(link)
+    return failed
+
+
+def distances_with_failures(
+    topology: Topology, failed: set[tuple[int, int]]
+) -> np.ndarray:
+    """Effective distance matrix with the failed links removed."""
+    design = topology.design
+    w = design.fiber_km.copy()
+    for a, b in topology.mw_links:
+        if (a, b) in failed:
+            continue
+        m = design.mw_km[a, b]
+        if m < w[a, b]:
+            w[a, b] = w[b, a] = m
+    np.fill_diagonal(w, 0.0)
+    return shortest_path(w, method="FW", directed=False)
+
+
+def yearly_stretch_analysis(
+    topology: Topology,
+    catalog: LinkCatalog,
+    registry: TowerRegistry,
+    precipitation: PrecipitationYear | None = None,
+    n_intervals: int = 365,
+    fade_margin_db: float = 30.0,
+    seed: int = 7,
+) -> YearlyStretchResult:
+    """Reproduce Fig 7: stretch across all pairs over a sampled year.
+
+    One randomly placed 30-minute interval per day is emulated by one
+    storm-field sample per day (our fields are daily); ``n_intervals``
+    days are drawn uniformly from the year.
+    """
+    if n_intervals <= 0:
+        raise ValueError("need at least one interval")
+    precipitation = precipitation or PrecipitationYear()
+    rng = np.random.default_rng(seed)
+    days = rng.choice(np.arange(1, 366), size=n_intervals, replace=n_intervals > 365)
+
+    design = topology.design
+    geo = design.geodesic_km
+    iu = np.triu_indices(design.n_sites, k=1)
+    valid = geo[iu] > 0
+
+    def stretches(dist: np.ndarray) -> np.ndarray:
+        return (dist[iu] / geo[iu])[valid]
+
+    best = stretches(topology.effective_distance_matrix())
+    fiber = stretches(design.fiber_km)
+    segments = link_hop_segments(topology, catalog, registry)
+
+    per_interval = np.empty((n_intervals, valid.sum()))
+    n_failed = np.zeros(n_intervals, dtype=int)
+    for k, day in enumerate(days):
+        failed = failed_links(
+            segments, precipitation, int(day), fade_margin_db=fade_margin_db
+        )
+        n_failed[k] = len(failed)
+        if failed:
+            per_interval[k] = stretches(distances_with_failures(topology, failed))
+        else:
+            per_interval[k] = best
+    return YearlyStretchResult(
+        best=best,
+        p99=np.percentile(per_interval, 99, axis=0),
+        worst=per_interval.max(axis=0),
+        fiber=fiber,
+        links_failed_per_interval=n_failed,
+    )

@@ -1,0 +1,134 @@
+"""Synthetic precipitation fields (NASA TRMM/GPM archive substitute).
+
+The paper samples a year of NASA precipitation data (July 2015 - June
+2016), one random 30-minute interval per day, to find which MW hops fail
+when.  The archive is unavailable offline, so we synthesize a year of
+storm fields with the properties the failure analysis consumes:
+
+* storms are spatially coherent cells (tens to hundreds of km), so
+  nearby hops fail together while the rest of the network stays dry;
+* intensity is heavy-tailed: most rain is light (a few mm/h, harmless
+  at 11 GHz) with occasional convective cores (>40 mm/h) that take
+  links down;
+* seasonality and geography: more storms in summer, wetter in the
+  (US) southeast — so yearly statistics are not uniform.
+
+Everything is deterministic per (seed, day).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StormCell:
+    """One rain cell: Gaussian intensity profile around a center."""
+
+    lat: float
+    lon: float
+    radius_km: float
+    peak_mm_h: float
+
+
+@dataclass(frozen=True)
+class RegionClimate:
+    """Climate knobs for a geography.
+
+    Attributes:
+        lat_range / lon_range: bounding box for storm centers.
+        storms_per_day: mean daily storm-cell count (annual average).
+        seasonal_amplitude: relative summer/winter modulation (0-1).
+        summer_peak_day: day-of-year of maximum storm activity.
+        wet_bias_lat / wet_bias_lon: center of the wetter sub-region
+            (e.g., the US southeast); None disables the bias.
+    """
+
+    lat_range: tuple[float, float]
+    lon_range: tuple[float, float]
+    storms_per_day: float = 18.0
+    seasonal_amplitude: float = 0.6
+    summer_peak_day: int = 200
+    wet_bias_lat: float | None = None
+    wet_bias_lon: float | None = None
+
+
+US_CLIMATE = RegionClimate(
+    lat_range=(24.0, 50.0),
+    lon_range=(-125.0, -66.0),
+    storms_per_day=22.0,
+    wet_bias_lat=32.0,
+    wet_bias_lon=-88.0,
+)
+
+EU_CLIMATE = RegionClimate(
+    lat_range=(36.0, 60.0),
+    lon_range=(-10.0, 30.0),
+    storms_per_day=18.0,
+    wet_bias_lat=46.0,
+    wet_bias_lon=14.0,
+)
+
+
+class PrecipitationYear:
+    """A deterministic year of daily storm fields."""
+
+    def __init__(self, climate: RegionClimate = US_CLIMATE, seed: int = 2015):
+        self.climate = climate
+        self.seed = seed
+
+    def _seasonal_factor(self, day_of_year: int) -> float:
+        phase = 2.0 * np.pi * (day_of_year - self.climate.summer_peak_day) / 365.0
+        return 1.0 + self.climate.seasonal_amplitude * np.cos(phase)
+
+    def storms_for_day(self, day_of_year: int) -> list[StormCell]:
+        """The storm cells active on ``day_of_year`` (1-365)."""
+        if not 1 <= day_of_year <= 366:
+            raise ValueError("day of year must be in 1..366")
+        rng = np.random.default_rng(self.seed * 1000 + day_of_year)
+        clim = self.climate
+        mean_storms = clim.storms_per_day * self._seasonal_factor(day_of_year)
+        n = int(rng.poisson(mean_storms))
+        cells = []
+        for _ in range(n):
+            lat = float(rng.uniform(*clim.lat_range))
+            lon = float(rng.uniform(*clim.lon_range))
+            # Wet-bias acceptance: cells near the wet center are kept
+            # preferentially, making the biased region rainier.
+            if clim.wet_bias_lat is not None:
+                dist_deg = np.hypot(
+                    lat - clim.wet_bias_lat, lon - clim.wet_bias_lon
+                )
+                accept = 0.45 + 0.55 * np.exp(-((dist_deg / 18.0) ** 2))
+                if rng.random() > accept:
+                    continue
+            radius = float(rng.uniform(25.0, 220.0))
+            # Heavy-tailed peak intensity: mostly light rain, rare
+            # convective cores strong enough to fade an 11 GHz hop.
+            peak = float(rng.lognormal(mean=1.7, sigma=1.25))
+            cells.append(
+                StormCell(lat=lat, lon=lon, radius_km=radius, peak_mm_h=min(peak, 150.0))
+            )
+        return cells
+
+    def rain_rate_mm_h(self, day_of_year: int, lats, lons) -> np.ndarray:
+        """Rain rate at the query points on the given day (vectorized).
+
+        The rate at a point is the maximum over active cells of the
+        cell's Gaussian profile.
+        """
+        lats = np.atleast_1d(np.asarray(lats, dtype=float))
+        lons = np.atleast_1d(np.asarray(lons, dtype=float))
+        rate = np.zeros(lats.shape)
+        mean_lat = np.radians(np.mean(self.climate.lat_range))
+        km_per_deg_lon = 111.19 * np.cos(mean_lat)
+        for cell in self.storms_for_day(day_of_year):
+            dx = (lons - cell.lon) * km_per_deg_lon
+            dy = (lats - cell.lat) * 111.19
+            dist = np.hypot(dx, dy)
+            rate = np.maximum(
+                rate, cell.peak_mm_h * np.exp(-((dist / cell.radius_km) ** 2))
+            )
+        return rate

@@ -1,0 +1,68 @@
+"""Shared fixtures: small deterministic design problems and substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import shortest_path
+
+from repro.core.topology import DesignInput
+from repro.datasets.sites import Site
+
+
+def make_toy_design(n: int, seed: int = 0) -> DesignInput:
+    """A small, random-but-deterministic design problem.
+
+    MW links are cheap and straight (1.02-1.2x geodesic), fiber is slow
+    (metric closure of 1.7-2.3x geodesic), traffic is population-product
+    — structurally the same problem the paper solves.
+    """
+    rng = np.random.default_rng(seed)
+    lats = rng.uniform(30.0, 45.0, n)
+    lons = rng.uniform(-120.0, -75.0, n)
+    pops = rng.integers(100_000, 5_000_000, n)
+    sites = tuple(
+        Site(name=f"s{i}", lat=float(lats[i]), lon=float(lons[i]), population=int(pops[i]))
+        for i in range(n)
+    )
+    from repro.geo import pairwise_distance_matrix
+
+    geo = pairwise_distance_matrix(lats, lons)
+    mw = geo * rng.uniform(1.02, 1.2, (n, n))
+    mw = (mw + mw.T) / 2.0
+    np.fill_diagonal(mw, np.inf)
+    cost = np.ceil(mw / 35.0)
+    np.fill_diagonal(cost, np.inf)
+    fiber = geo * rng.uniform(1.7, 2.3, (n, n))
+    fiber = (fiber + fiber.T) / 2.0
+    np.fill_diagonal(fiber, 0.0)
+    fiber = shortest_path(fiber, method="FW", directed=False)
+    h = np.outer(pops, pops).astype(float)
+    np.fill_diagonal(h, 0.0)
+    h /= np.triu(h, 1).sum()
+    return DesignInput(
+        sites=sites,
+        traffic=h,
+        geodesic_km=geo,
+        mw_km=mw,
+        cost_towers=cost,
+        fiber_km=fiber,
+    )
+
+
+@pytest.fixture
+def toy_design_8():
+    return make_toy_design(8, seed=8)
+
+
+@pytest.fixture
+def toy_design_10():
+    return make_toy_design(10, seed=10)
+
+
+@pytest.fixture(scope="session")
+def small_us_scenario():
+    """A cached 20-city US scenario for integration tests."""
+    from repro.scenarios import us_scenario
+
+    return us_scenario(n_sites=20)

@@ -1,0 +1,106 @@
+"""Tests for DesignInput / Topology and stretch evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DesignInput, Topology, fiber_only_topology
+from repro.core.topology import mean_stretch_from_distances
+
+from .conftest import make_toy_design
+
+
+class TestDesignInput:
+    def test_shape_validation(self, toy_design_8):
+        with pytest.raises(ValueError):
+            DesignInput(
+                sites=toy_design_8.sites,
+                traffic=toy_design_8.traffic[:4, :4],
+                geodesic_km=toy_design_8.geodesic_km,
+                mw_km=toy_design_8.mw_km,
+                cost_towers=toy_design_8.cost_towers,
+                fiber_km=toy_design_8.fiber_km,
+            )
+
+    def test_candidate_links_all_pairs(self, toy_design_8):
+        cands = toy_design_8.candidate_links()
+        assert len(cands) == 8 * 7 // 2
+        assert all(a < b for a, b in cands)
+
+    def test_pair_weights_upper_triangular(self, toy_design_8):
+        w = toy_design_8.pair_weights()
+        assert np.all(np.tril(w) == 0.0)
+        assert np.all(w >= 0.0)
+
+
+class TestTopology:
+    def test_fiber_only_stretch_matches_fiber(self, toy_design_8):
+        topo = fiber_only_topology(toy_design_8)
+        d = topo.effective_distance_matrix()
+        assert np.allclose(d, toy_design_8.fiber_km)
+
+    def test_invalid_link_raises(self, toy_design_8):
+        with pytest.raises(ValueError):
+            Topology(design=toy_design_8, mw_links=frozenset({(3, 1)}))
+
+    def test_adding_links_never_increases_stretch(self, toy_design_8):
+        base = fiber_only_topology(toy_design_8).mean_stretch()
+        topo = Topology(design=toy_design_8, mw_links=frozenset({(0, 1)}))
+        assert topo.mean_stretch() <= base
+
+    def test_stretch_at_least_one(self, toy_design_10):
+        topo = Topology(
+            design=toy_design_10, mw_links=frozenset({(0, 1), (2, 3), (0, 4)})
+        )
+        s = topo.stretch_matrix()
+        vals = s[np.isfinite(s)]
+        assert np.all(vals >= 1.0 - 1e-9)
+
+    def test_distances_metric(self, toy_design_8):
+        topo = Topology(design=toy_design_8, mw_links=frozenset({(0, 1), (1, 2)}))
+        d = topo.effective_distance_matrix()
+        n = d.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+    def test_total_cost(self, toy_design_8):
+        links = frozenset({(0, 1), (2, 5)})
+        topo = Topology(design=toy_design_8, mw_links=links)
+        expected = sum(toy_design_8.cost_towers[a, b] for a, b in links)
+        assert topo.total_cost_towers == pytest.approx(expected)
+
+    def test_multi_link_paths_used(self):
+        # A chain of two MW links must beat direct fiber for the far pair.
+        design = make_toy_design(6, seed=99)
+        topo = Topology(design=design, mw_links=frozenset({(0, 1), (1, 2)}))
+        d = topo.effective_distance_matrix()
+        via = design.mw_km[0, 1] + design.mw_km[1, 2]
+        assert d[0, 2] <= min(via, design.fiber_km[0, 2]) + 1e-9
+
+    def test_routed_paths_cover_demands(self, toy_design_8):
+        topo = Topology(design=toy_design_8, mw_links=frozenset({(0, 1)}))
+        routes = topo.routed_paths()
+        n = toy_design_8.n_sites
+        expected_pairs = {
+            (s, t)
+            for s in range(n)
+            for t in range(s + 1, n)
+            if toy_design_8.traffic[s, t] > 0
+        }
+        assert set(routes) == expected_pairs
+        for (s, t), path in routes.items():
+            assert path[0] == s
+            assert path[-1] == t
+
+
+class TestMeanStretch:
+    def test_identity_distances_give_stretch_one(self, toy_design_8):
+        s = mean_stretch_from_distances(toy_design_8, toy_design_8.geodesic_km)
+        assert s == pytest.approx(1.0)
+
+    def test_weighted_average(self, toy_design_8):
+        # Doubling all distances doubles the mean stretch.
+        s1 = mean_stretch_from_distances(toy_design_8, toy_design_8.fiber_km)
+        s2 = mean_stretch_from_distances(toy_design_8, toy_design_8.fiber_km * 2.0)
+        assert s2 == pytest.approx(2.0 * s1)

@@ -1,0 +1,51 @@
+"""Integration tests for the European scenario (§6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_heuristic
+from repro.scenarios import EU_FIBER_STRETCH, europe_scenario
+
+
+@pytest.fixture(scope="module")
+def europe():
+    return europe_scenario()
+
+
+class TestEuropeScenario:
+    def test_sites_above_population_floor(self, europe):
+        assert all(s.population >= 300_000 for s in europe.sites)
+        assert europe.n_sites >= 50
+
+    def test_flat_fiber_assumption(self, europe):
+        """The paper reuses the US-measured ~1.9x latency inflation."""
+        geo = europe.geodesic_km
+        mask = geo > 0
+        ratio = europe.fiber_km[mask] / geo[mask]
+        assert np.allclose(ratio, EU_FIBER_STRETCH)
+        assert europe.fiber is None  # no conduit graph in this mode
+
+    def test_substrate_built(self, europe):
+        assert len(europe.registry) > 1000
+        assert europe.hop_graph.n_edges > 5000
+
+    def test_mw_links_exist_across_continent(self, europe):
+        finite = np.isfinite(europe.catalog.mw_km)
+        np.fill_diagonal(finite, False)
+        # The overwhelming majority of pairs get a feasible MW chain.
+        assert finite.mean() > 0.5
+
+    def test_design_beats_fiber_substantially(self, europe):
+        result = solve_heuristic(
+            europe.design_input(), 1500.0, ilp_refinement=False
+        )
+        # Design must recover most of the fiber-vs-c gap, as in the US.
+        assert result.objective < 1.35
+        assert result.objective >= 1.0
+
+    def test_terrain_is_european(self, europe):
+        from repro.geo import GeoPoint
+
+        alps = europe.terrain.point_elevation_m(GeoPoint(46.5, 9.5))
+        po_valley = europe.terrain.point_elevation_m(GeoPoint(45.1, 10.5))
+        assert alps > po_valley

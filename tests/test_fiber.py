@@ -1,0 +1,102 @@
+"""Tests for the synthetic fiber conduit network."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import us_population_centers
+from repro.datasets.sites import Site
+from repro.fiber import (
+    FiberEdge,
+    FiberNetwork,
+    build_conduit_network,
+    fiber_stretch_matrix,
+)
+from repro.geo import FIBER_SLOWDOWN
+
+SITES = [
+    Site("A", 40.0, -100.0, 1_000_000),
+    Site("B", 40.0, -95.0, 500_000),
+    Site("C", 43.0, -97.0, 250_000),
+    Site("D", 37.0, -97.0, 250_000),
+]
+
+
+class TestBuild:
+    def test_connected(self):
+        net = build_conduit_network(SITES)
+        d = net.route_distance_matrix()
+        assert np.all(np.isfinite(d))
+
+    def test_edges_longer_than_geodesic(self):
+        net = build_conduit_network(SITES)
+        for e in net.edges:
+            geo = SITES[e.site_a].distance_km(SITES[e.site_b])
+            assert e.route_km > geo
+
+    def test_deterministic(self):
+        a = build_conduit_network(SITES, seed=3)
+        b = build_conduit_network(SITES, seed=3)
+        assert a.edges == b.edges
+
+    def test_single_site(self):
+        net = build_conduit_network(SITES[:1])
+        assert net.edges == ()
+
+    def test_two_sites(self):
+        net = build_conduit_network(SITES[:2])
+        assert len(net.edges) == 1
+
+
+class TestMatrices:
+    def test_latency_equivalent_is_1_5x_route(self):
+        net = build_conduit_network(SITES)
+        route = net.route_distance_matrix()
+        lat = net.latency_equivalent_matrix()
+        assert np.allclose(lat, route * FIBER_SLOWDOWN)
+
+    def test_symmetric_zero_diagonal(self):
+        net = build_conduit_network(SITES)
+        o = net.latency_equivalent_matrix()
+        assert np.allclose(o, o.T)
+        assert np.all(np.diag(o) == 0.0)
+
+    def test_triangle_inequality(self):
+        # Shortest-path closure must be a metric.
+        net = build_conduit_network(SITES)
+        o = net.latency_equivalent_matrix()
+        n = o.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert o[i, j] <= o[i, k] + o[k, j] + 1e-9
+
+
+class TestCalibration:
+    def test_us_mean_stretch_near_paper(self):
+        """The paper measures ~1.93x mean fiber latency stretch (§1)."""
+        sites = us_population_centers()
+        net = build_conduit_network(sites)
+        s = fiber_stretch_matrix(net, sites)
+        vals = s[np.isfinite(s)]
+        assert 1.8 < vals.mean() < 2.1
+
+    def test_every_pair_slower_than_c(self):
+        sites = us_population_centers()[:30]
+        net = build_conduit_network(sites)
+        s = fiber_stretch_matrix(net, sites)
+        vals = s[np.isfinite(s)]
+        assert np.all(vals >= FIBER_SLOWDOWN - 1e-9)
+
+
+class TestAdjacency:
+    def test_matches_edges(self):
+        net = FiberNetwork(
+            n_sites=3,
+            edges=(FiberEdge(0, 1, 100.0), FiberEdge(1, 2, 200.0)),
+        )
+        adj = net.adjacency().toarray()
+        assert adj[0, 1] == 100.0
+        assert adj[1, 0] == 100.0
+        assert adj[0, 2] == 0.0
+        d = net.route_distance_matrix()
+        assert d[0, 2] == pytest.approx(300.0)

@@ -1,0 +1,188 @@
+"""Unit and property tests for repro.geo.coords."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    c_latency_ms,
+    destination_point,
+    fiber_latency_ms,
+    great_circle_points,
+    haversine_km,
+    initial_bearing_deg,
+    midpoint,
+    pairwise_distance_matrix,
+)
+
+lat_st = st.floats(min_value=-85.0, max_value=85.0, allow_nan=False)
+lon_st = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(41.88, -87.62)
+        assert p.lat == 41.88
+        assert p.lon == -87.62
+
+    def test_lat_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_lon_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_points_are_hashable_and_ordered(self):
+        a = GeoPoint(1.0, 2.0)
+        b = GeoPoint(1.0, 2.0)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_known_distance_chicago_nyc(self):
+        # Chicago to New York is roughly 1,145 km.
+        d = haversine_km(41.8781, -87.6298, 40.7128, -74.0060)
+        assert 1100 < d < 1200
+
+    def test_known_distance_equator_quarter(self):
+        # A quarter of the equator.
+        d = haversine_km(0.0, 0.0, 0.0, 90.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_KM / 2, rel=1e-9)
+
+    def test_antipodal(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-9)
+
+    def test_vectorized_matches_scalar(self):
+        lats = np.array([10.0, 20.0, -30.0])
+        lons = np.array([5.0, -40.0, 100.0])
+        vec = haversine_km(lats, lons, 0.0, 0.0)
+        for i in range(3):
+            assert vec[i] == pytest.approx(haversine_km(lats[i], lons[i], 0.0, 0.0))
+
+    @given(lat_st, lon_st, lat_st, lon_st)
+    @settings(max_examples=100)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        d12 = haversine_km(lat1, lon1, lat2, lon2)
+        d21 = haversine_km(lat2, lon2, lat1, lon1)
+        assert d12 == pytest.approx(d21, abs=1e-9)
+
+    @given(lat_st, lon_st, lat_st, lon_st)
+    @settings(max_examples=100)
+    def test_bounded_by_half_circumference(self, lat1, lon1, lat2, lon2):
+        d = haversine_km(lat1, lon1, lat2, lon2)
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(lat_st, lon_st, lat_st, lon_st, lat_st, lon_st)
+    @settings(max_examples=100)
+    def test_triangle_inequality(self, lat1, lon1, lat2, lon2, lat3, lon3):
+        d12 = haversine_km(lat1, lon1, lat2, lon2)
+        d23 = haversine_km(lat2, lon2, lat3, lon3)
+        d13 = haversine_km(lat1, lon1, lat3, lon3)
+        assert d13 <= d12 + d23 + 1e-6
+
+
+class TestPairwiseMatrix:
+    def test_shape_symmetry_diagonal(self):
+        lats = [41.9, 40.7, 34.0, 29.8]
+        lons = [-87.6, -74.0, -118.2, -95.4]
+        m = pairwise_distance_matrix(lats, lons)
+        assert m.shape == (4, 4)
+        assert np.allclose(m, m.T)
+        assert np.all(np.diag(m) == 0.0)
+        assert np.all(m[~np.eye(4, dtype=bool)] > 0)
+
+
+class TestLatency:
+    def test_c_latency_3000km(self):
+        # 3000 km at c is almost exactly 10 ms.
+        assert c_latency_ms(3000.0) == pytest.approx(10.007, abs=0.01)
+
+    def test_fiber_latency_is_1_5x(self):
+        assert fiber_latency_ms(1000.0) == pytest.approx(1.5 * c_latency_ms(1000.0))
+
+    def test_zero(self):
+        assert c_latency_ms(0.0) == 0.0
+
+
+class TestBearingAndDestination:
+    def test_due_north(self):
+        b = initial_bearing_deg(0.0, 0.0, 10.0, 0.0)
+        assert b == pytest.approx(0.0, abs=1e-9)
+
+    def test_due_east_at_equator(self):
+        b = initial_bearing_deg(0.0, 0.0, 0.0, 10.0)
+        assert b == pytest.approx(90.0, abs=1e-9)
+
+    @given(lat_st, lon_st, st.floats(0, 359.99), st.floats(1.0, 2000.0))
+    @settings(max_examples=100)
+    def test_destination_round_trip_distance(self, lat, lon, bearing, dist):
+        dest = destination_point(lat, lon, bearing, dist)
+        back = haversine_km(lat, lon, dest.lat, dest.lon)
+        assert back == pytest.approx(dist, rel=1e-6, abs=1e-6)
+
+
+class TestGreatCirclePoints:
+    def test_endpoints_included(self):
+        p1 = GeoPoint(10.0, 20.0)
+        p2 = GeoPoint(30.0, 60.0)
+        lats, lons = great_circle_points(p1, p2, 11)
+        assert lats[0] == pytest.approx(p1.lat, abs=1e-9)
+        assert lons[0] == pytest.approx(p1.lon, abs=1e-9)
+        assert lats[-1] == pytest.approx(p2.lat, abs=1e-6)
+        assert lons[-1] == pytest.approx(p2.lon, abs=1e-6)
+
+    def test_even_spacing(self):
+        p1 = GeoPoint(40.0, -100.0)
+        p2 = GeoPoint(45.0, -80.0)
+        lats, lons = great_circle_points(p1, p2, 21)
+        gaps = [
+            haversine_km(lats[i], lons[i], lats[i + 1], lons[i + 1]) for i in range(20)
+        ]
+        assert max(gaps) == pytest.approx(min(gaps), rel=1e-6)
+
+    def test_total_length_matches_direct(self):
+        p1 = GeoPoint(35.0, -120.0)
+        p2 = GeoPoint(42.0, -71.0)
+        lats, lons = great_circle_points(p1, p2, 100)
+        total = sum(
+            haversine_km(lats[i], lons[i], lats[i + 1], lons[i + 1]) for i in range(99)
+        )
+        assert total == pytest.approx(p1.distance_km(p2), rel=1e-6)
+
+    def test_degenerate_same_point(self):
+        p = GeoPoint(10.0, 10.0)
+        lats, lons = great_circle_points(p, p, 5)
+        assert np.allclose(lats, 10.0)
+        assert np.allclose(lons, 10.0)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            great_circle_points(GeoPoint(0, 0), GeoPoint(1, 1), 1)
+
+
+class TestMidpoint:
+    def test_midpoint_is_equidistant(self):
+        p1 = GeoPoint(41.88, -87.62)
+        p2 = GeoPoint(40.71, -74.00)
+        m = midpoint(p1, p2)
+        assert m.distance_km(p1) == pytest.approx(m.distance_km(p2), rel=1e-9)
+
+    def test_midpoint_on_path(self):
+        p1 = GeoPoint(0.0, 0.0)
+        p2 = GeoPoint(0.0, 10.0)
+        m = midpoint(p1, p2)
+        assert m.lat == pytest.approx(0.0, abs=1e-9)
+        assert m.lon == pytest.approx(5.0, abs=1e-9)

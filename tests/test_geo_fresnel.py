@@ -1,0 +1,114 @@
+"""Tests for the Fresnel-zone / Earth-bulge clearance math (paper §3.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    RadioProfile,
+    earth_bulge_m,
+    fresnel_radius_m,
+    midpoint_clearance_m,
+    required_clearance_m,
+)
+
+hop_st = st.floats(min_value=0.5, max_value=150.0, allow_nan=False)
+
+
+class TestFresnelRadius:
+    def test_paper_midpoint_formula(self):
+        # hFres ~= 8.7 m sqrt(D/1km) / sqrt(f/1GHz): D=100 km, f=11 GHz.
+        expected = 8.7 * math.sqrt(100.0) / math.sqrt(11.0)
+        got = fresnel_radius_m(50.0, 50.0, frequency_ghz=11.0)
+        assert got == pytest.approx(expected, rel=0.01)
+
+    def test_one_km_one_ghz(self):
+        # The paper's normalization point: D = 1 km, f = 1 GHz -> 8.7 m.
+        assert fresnel_radius_m(0.5, 0.5, frequency_ghz=1.0) == pytest.approx(8.7, rel=0.01)
+
+    def test_zero_at_endpoints(self):
+        assert fresnel_radius_m(0.0, 10.0) == 0.0
+        assert fresnel_radius_m(10.0, 0.0) == 0.0
+
+    def test_higher_frequency_smaller_zone(self):
+        low = fresnel_radius_m(25.0, 25.0, frequency_ghz=6.0)
+        high = fresnel_radius_m(25.0, 25.0, frequency_ghz=18.0)
+        assert high < low
+
+    @given(hop_st)
+    @settings(max_examples=60)
+    def test_maximum_at_midpoint(self, hop):
+        mid = fresnel_radius_m(hop / 2, hop / 2)
+        off = fresnel_radius_m(hop / 4, 3 * hop / 4)
+        assert mid >= off
+
+    @given(hop_st, hop_st)
+    @settings(max_examples=60)
+    def test_symmetric_in_d1_d2(self, d1, d2):
+        assert fresnel_radius_m(d1, d2) == pytest.approx(fresnel_radius_m(d2, d1))
+
+
+class TestEarthBulge:
+    def test_paper_midpoint_formula_100km(self):
+        # hEarth ~= D^2/(50 K) m: D=100, K=1.3 -> 153.8 m.
+        assert earth_bulge_m(50.0, 50.0, k_factor=1.3) == pytest.approx(153.85, rel=0.01)
+
+    def test_paper_midpoint_formula_60km(self):
+        assert earth_bulge_m(30.0, 30.0, k_factor=1.3) == pytest.approx(
+            60.0**2 / (50 * 1.3), rel=0.01
+        )
+
+    def test_zero_at_endpoints(self):
+        assert earth_bulge_m(0.0, 42.0) == 0.0
+
+    def test_larger_k_smaller_bulge(self):
+        # More refraction (larger K) lets the beam follow the Earth more.
+        assert earth_bulge_m(50.0, 50.0, k_factor=1.6) < earth_bulge_m(
+            50.0, 50.0, k_factor=1.0
+        )
+
+    @given(hop_st)
+    @settings(max_examples=60)
+    def test_quadratic_scaling(self, hop):
+        # Doubling the hop length quadruples the midpoint bulge.
+        single = earth_bulge_m(hop / 2, hop / 2)
+        double = earth_bulge_m(hop, hop)
+        assert double == pytest.approx(4.0 * single, rel=1e-9)
+
+
+class TestClearance:
+    def test_100km_hop_total(self):
+        # 153.8 m bulge + 26.2 m Fresnel = ~180 m at the midpoint.
+        assert midpoint_clearance_m(100.0) == pytest.approx(180.1, abs=1.0)
+
+    def test_required_clearance_sums_terms(self):
+        d1, d2 = 30.0, 70.0
+        expect = earth_bulge_m(d1, d2) + fresnel_radius_m(d1, d2)
+        assert required_clearance_m(d1, d2) == pytest.approx(expect)
+
+    @given(hop_st)
+    @settings(max_examples=60)
+    def test_monotone_in_hop_length(self, hop):
+        assert midpoint_clearance_m(hop * 1.5) > midpoint_clearance_m(hop)
+
+
+class TestRadioProfile:
+    def test_defaults_match_paper(self):
+        p = RadioProfile()
+        assert p.frequency_ghz == 11.0
+        assert p.k_factor == 1.3
+        assert p.max_range_km == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioProfile(frequency_ghz=0.0)
+        with pytest.raises(ValueError):
+            RadioProfile(k_factor=-1.0)
+        with pytest.raises(ValueError):
+            RadioProfile(max_range_km=0.0)
+
+    def test_clearance_delegates(self):
+        p = RadioProfile()
+        assert p.clearance_m(50.0, 50.0) == pytest.approx(midpoint_clearance_m(100.0))

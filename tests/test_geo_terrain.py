@@ -1,0 +1,117 @@
+"""Tests for the synthetic terrain model (SRTM substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    GeoPoint,
+    MountainRidge,
+    europe_terrain,
+    flat_terrain,
+    fractal_noise,
+    us_terrain,
+)
+
+lat_st = st.floats(min_value=25.0, max_value=49.0, allow_nan=False)
+lon_st = st.floats(min_value=-124.0, max_value=-67.0, allow_nan=False)
+
+
+class TestFractalNoise:
+    def test_range(self):
+        x = np.linspace(-50, 50, 200)
+        y = np.linspace(-20, 20, 200)
+        v = fractal_noise(x, y, seed=3)
+        assert np.all(v >= 0.0)
+        assert np.all(v < 1.0)
+
+    def test_deterministic(self):
+        x = np.array([1.5, 2.5, 3.5])
+        y = np.array([0.1, 0.2, 0.3])
+        assert np.array_equal(fractal_noise(x, y, seed=5), fractal_noise(x, y, seed=5))
+
+    def test_seed_changes_field(self):
+        x = np.linspace(0, 10, 50)
+        y = np.linspace(0, 10, 50)
+        assert not np.allclose(fractal_noise(x, y, seed=1), fractal_noise(x, y, seed=2))
+
+    def test_continuity(self):
+        # Neighboring samples differ by a small amount (no lattice jumps).
+        x = np.linspace(3.0, 3.01, 100)
+        y = np.full(100, 7.0)
+        v = fractal_noise(x, y, seed=9)
+        assert np.max(np.abs(np.diff(v))) < 0.05
+
+
+class TestMountainRidge:
+    def test_distance_zero_on_crest(self):
+        ridge = MountainRidge("test", ((40.0, -100.0), (42.0, -100.0)), 1000.0, 50.0)
+        d = ridge.distance_km(np.array([41.0]), np.array([-100.0]))
+        assert d[0] < 5.0
+
+    def test_distance_far_away(self):
+        ridge = MountainRidge("test", ((40.0, -100.0), (42.0, -100.0)), 1000.0, 50.0)
+        d = ridge.distance_km(np.array([41.0]), np.array([-90.0]))
+        # ~10 degrees of longitude at 41N is about 840 km.
+        assert 700 < d[0] < 950
+
+    def test_distance_beyond_endpoint_clamps(self):
+        ridge = MountainRidge("test", ((40.0, -100.0), (42.0, -100.0)), 1000.0, 50.0)
+        d = ridge.distance_km(np.array([45.0]), np.array([-100.0]))
+        # Clamped to the endpoint at 42N: roughly 3 degrees of latitude.
+        assert 300 < d[0] < 370
+
+
+class TestTerrainModel:
+    def test_flat_terrain_is_flat(self):
+        t = flat_terrain(100.0)
+        lats = np.linspace(30, 45, 50)
+        lons = np.linspace(-120, -80, 50)
+        assert np.allclose(t.elevation_m(lats, lons), 100.0)
+
+    def test_elevation_never_negative(self):
+        t = us_terrain()
+        rng = np.random.default_rng(0)
+        lats = rng.uniform(25, 49, 500)
+        lons = rng.uniform(-124, -67, 500)
+        assert np.all(t.elevation_m(lats, lons) >= 0.0)
+
+    def test_deterministic_across_instances(self):
+        a = us_terrain(seed=7)
+        b = us_terrain(seed=7)
+        lats = np.linspace(30, 45, 20)
+        lons = np.linspace(-110, -80, 20)
+        assert np.array_equal(a.elevation_m(lats, lons), b.elevation_m(lats, lons))
+
+    def test_rockies_higher_than_midwest(self):
+        t = us_terrain()
+        rockies = t.point_elevation_m(GeoPoint(39.5, -106.0))
+        midwest = t.point_elevation_m(GeoPoint(41.0, -93.0))
+        assert rockies > midwest + 800.0
+
+    def test_alps_higher_than_netherlands(self):
+        t = europe_terrain()
+        alps = t.point_elevation_m(GeoPoint(46.5, 9.5))
+        holland = t.point_elevation_m(GeoPoint(52.3, 4.9))
+        assert alps > holland + 1000.0
+
+    def test_profile_shapes(self):
+        t = us_terrain()
+        lats, lons, elev = t.profile(GeoPoint(41.9, -87.6), GeoPoint(40.7, -74.0), 64)
+        assert lats.shape == lons.shape == elev.shape == (64,)
+
+    def test_profile_endpoints_match_point_queries(self):
+        t = us_terrain()
+        p1, p2 = GeoPoint(35.0, -101.0), GeoPoint(36.0, -97.0)
+        _, _, elev = t.profile(p1, p2, 10)
+        assert elev[0] == pytest.approx(t.point_elevation_m(p1))
+        assert elev[-1] == pytest.approx(t.point_elevation_m(p2))
+
+    @given(lat_st, lon_st)
+    @settings(max_examples=50)
+    def test_scalar_query_finite(self, lat, lon):
+        t = us_terrain()
+        e = t.point_elevation_m(GeoPoint(lat, lon))
+        assert np.isfinite(e)
+        assert 0.0 <= e < 6000.0

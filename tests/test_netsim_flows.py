@@ -1,0 +1,234 @@
+"""Tests for UDP flows, TCP behavior, pacing, and routing schemes."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    EdgeSpec,
+    FlowMonitor,
+    Network,
+    QueueSampler,
+    Simulator,
+    TcpFlow,
+    UdpFlow,
+    k_shortest_paths,
+    mean_route_latency,
+    min_max_utilization_routing,
+    shortest_path_routing,
+    throughput_optimal_routing,
+)
+
+
+def simple_net(rate=10e6, delay=0.005, queue=100):
+    sim = Simulator()
+    net = Network.from_edges(sim, [EdgeSpec("A", "B", rate, delay, queue)])
+    mon = FlowMonitor(sim)
+    for link in net.links.values():
+        mon.watch_link(link)
+    return sim, net, mon
+
+
+class TestUdpFlow:
+    def test_rate_accuracy(self):
+        sim, net, mon = simple_net()
+        UdpFlow(sim, net, mon, 1, ("A", "B"), rate_bps=5e6, seed=2).start()
+        sim.run(until=4.0)
+        stats = mon.flows[1]
+        achieved = stats.sent * 500 * 8 / 4.0
+        assert achieved == pytest.approx(5e6, rel=0.1)
+
+    def test_no_loss_below_capacity(self):
+        sim, net, mon = simple_net()
+        UdpFlow(sim, net, mon, 1, ("A", "B"), rate_bps=6e6, seed=3).start()
+        sim.run(until=3.0)
+        assert mon.flows[1].loss_rate < 0.01
+
+    def test_loss_above_capacity(self):
+        sim, net, mon = simple_net(queue=20)
+        UdpFlow(sim, net, mon, 1, ("A", "B"), rate_bps=15e6, seed=4).start()
+        sim.run(until=3.0)
+        # Offered 150% of capacity: ~1/3 of packets must drop.
+        assert mon.flows[1].loss_rate == pytest.approx(1 / 3, abs=0.08)
+
+    def test_delay_grows_with_load(self):
+        delays = []
+        for rate in (3e6, 9e6):
+            sim, net, mon = simple_net()
+            UdpFlow(sim, net, mon, 1, ("A", "B"), rate_bps=rate, seed=5).start()
+            sim.run(until=3.0)
+            delays.append(mon.flows[1].mean_delay_s)
+        assert delays[1] > delays[0]
+
+    def test_cbr_mode_is_regular(self):
+        sim, net, mon = simple_net()
+        UdpFlow(
+            sim, net, mon, 1, ("A", "B"), rate_bps=1e6, poisson=False, seed=6
+        ).start()
+        sim.run(until=1.0)
+        # 1 Mbps / 4000 bits per packet = 250 packets per second.
+        assert mon.flows[1].sent == pytest.approx(250, abs=2)
+
+    def test_stop(self):
+        sim, net, mon = simple_net()
+        flow = UdpFlow(sim, net, mon, 1, ("A", "B"), rate_bps=1e6, seed=7)
+        flow.start()
+        sim.schedule(0.5, flow.stop)
+        sim.run(until=2.0)
+        sent_at_stop = mon.flows[1].sent
+        sim.run(until=3.0)
+        assert mon.flows[1].sent == sent_at_stop
+
+    def test_validation(self):
+        sim, net, mon = simple_net()
+        with pytest.raises(ValueError):
+            UdpFlow(sim, net, mon, 1, ("A", "B"), rate_bps=0.0)
+        with pytest.raises(ValueError):
+            UdpFlow(sim, net, mon, 1, ("A",), rate_bps=1e6)
+
+
+class TestTcpFlow:
+    def test_completes_and_fct_reasonable(self):
+        sim, net, mon = simple_net(rate=10e6, delay=0.01)
+        flow = TcpFlow(sim, net, mon, 1, ("A", "B"), total_bytes=100_000)
+        flow.start()
+        sim.run(until=30.0)
+        fct = flow.stats.fct_s
+        assert fct is not None
+        # Lower bound: transfer time at line rate.
+        assert fct >= 100_000 * 8 / 10e6
+        assert fct < 1.0
+
+    def test_larger_transfer_takes_longer(self):
+        fcts = []
+        for size in (50_000, 500_000):
+            sim, net, mon = simple_net(rate=10e6, delay=0.01)
+            flow = TcpFlow(sim, net, mon, 1, ("A", "B"), total_bytes=size)
+            flow.start()
+            sim.run(until=60.0)
+            fcts.append(flow.stats.fct_s)
+        assert fcts[1] > fcts[0]
+
+    def test_recovers_from_loss(self):
+        # A tiny queue forces slow-start overshoot drops; the flow must
+        # still complete via fast retransmit / RTO.
+        sim, net, mon = simple_net(rate=2e6, delay=0.02, queue=5)
+        flow = TcpFlow(sim, net, mon, 1, ("A", "B"), total_bytes=300_000)
+        flow.start()
+        sim.run(until=120.0)
+        assert flow.stats.fct_s is not None
+        assert flow.stats.retransmits > 0
+
+    def test_validation(self):
+        sim, net, mon = simple_net()
+        with pytest.raises(ValueError):
+            TcpFlow(sim, net, mon, 1, ("A", "B"), total_bytes=0)
+
+    def test_two_flows_share_fairly(self):
+        sim, net, mon = simple_net(rate=10e6, delay=0.01)
+        f1 = TcpFlow(sim, net, mon, 1, ("A", "B"), total_bytes=200_000)
+        f2 = TcpFlow(sim, net, mon, 2, ("A", "B"), total_bytes=200_000)
+        f1.start(at=0.0)
+        f2.start(at=0.0)
+        sim.run(until=60.0)
+        assert f1.stats.fct_s is not None
+        assert f2.stats.fct_s is not None
+
+
+class TestPacing:
+    """Fig 6: pacing eliminates speed-mismatch queue buildup."""
+
+    @staticmethod
+    def run_mismatch(edge_rate_bps: float, pacing: bool):
+        sim = Simulator()
+        edges = [
+            EdgeSpec(f"S{i}", "M", edge_rate_bps, 0.001, queue_capacity=10**9)
+            for i in range(10)
+        ] + [EdgeSpec("M", "D", 20e6, 0.005, queue_capacity=10**9)]
+        net = Network.from_edges(sim, edges)
+        mon = FlowMonitor(sim)
+        sampler = QueueSampler(sim, net.link("M", "D"), interval_s=0.002)
+        sampler.start()
+        rng = np.random.default_rng(11)
+        flows = []
+        t, fid = 0.0, 0
+        while t < 4.0:
+            t += float(rng.exponential(100_000 * 8 / (0.7 * 20e6)))
+            flow = TcpFlow(
+                sim, net, mon, fid, (f"S{fid % 10}", "M", "D"), 100_000,
+                pacing=pacing,
+            )
+            flow.start(at=t)
+            flows.append(flow)
+            fid += 1
+        sim.run(until=10.0)
+        fcts = [f.stats.fct_s for f in flows if f.stats.fct_s is not None]
+        return sampler, fcts
+
+    def test_pacing_reduces_queue_tail(self):
+        fast_burst, _ = self.run_mismatch(10e9, pacing=False)
+        fast_paced, _ = self.run_mismatch(10e9, pacing=True)
+        assert fast_paced.percentile(95) <= fast_burst.percentile(95)
+
+    def test_pacing_keeps_fct_comparable(self):
+        _, fct_burst = self.run_mismatch(10e9, pacing=False)
+        _, fct_paced = self.run_mismatch(10e9, pacing=True)
+        assert np.median(fct_paced) < 2.5 * np.median(fct_burst)
+
+
+def ring_graph():
+    g = nx.Graph()
+    for u, v, lat in [
+        ("A", "B", 1.0),
+        ("B", "C", 1.0),
+        ("C", "D", 1.0),
+        ("D", "A", 1.0),
+        ("A", "C", 2.5),
+    ]:
+        g.add_edge(u, v, latency=lat, capacity=10.0)
+    return g
+
+
+class TestRouting:
+    def test_k_shortest_paths_ordering(self):
+        g = ring_graph()
+        paths = k_shortest_paths(g, "A", "C", 3)
+        assert paths[0] in ([["A", "B", "C"], ["A", "D", "C"]][0],
+                            [["A", "B", "C"], ["A", "D", "C"]][1])
+        lengths = [
+            sum(g[u][v]["latency"] for u, v in zip(p[:-1], p[1:])) for p in paths
+        ]
+        assert lengths == sorted(lengths)
+
+    def test_shortest_path_routing(self):
+        g = ring_graph()
+        routing = shortest_path_routing(g, {("A", "C"): 1.0})
+        assert routing[("A", "C")] in (["A", "B", "C"], ["A", "D", "C"])
+
+    def test_min_max_util_spreads_load(self):
+        g = ring_graph()
+        demands = {("A", "C"): 15.0}  # exceeds any single 10-capacity path
+        routing = min_max_utilization_routing(g, demands)
+        assert routing[("A", "C")][0] == "A"
+        assert routing[("A", "C")][-1] == "C"
+
+    def test_throughput_optimal_runs(self):
+        g = ring_graph()
+        routing = throughput_optimal_routing(g, {("A", "C"): 5.0, ("B", "D"): 5.0})
+        assert set(routing) == {("A", "C"), ("B", "D")}
+
+    def test_alternative_routing_latency_penalty(self):
+        """§5: non-shortest-path schemes pay a latency premium under
+        load that forces detours."""
+        g = ring_graph()
+        demands = {("A", "B"): 9.0, ("A", "C"): 9.0}
+        sp = shortest_path_routing(g, demands)
+        mm = min_max_utilization_routing(g, demands)
+        lat_sp = mean_route_latency(g, sp, demands)
+        lat_mm = mean_route_latency(g, mm, demands)
+        assert lat_mm >= lat_sp - 1e-9
+
+    def test_mean_route_latency_requires_demand(self):
+        g = ring_graph()
+        with pytest.raises(ValueError):
+            mean_route_latency(g, {}, {})

@@ -1,0 +1,141 @@
+"""Cross-stack property-based tests (hypothesis).
+
+Invariants that must hold for *any* valid input, not just the fixtures:
+random design problems, random packet workloads, random storm queries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Topology,
+    fiber_only_topology,
+    greedy_sequence,
+    prune_useless_links,
+    solve_heuristic,
+)
+from repro.netsim import EdgeSpec, FlowMonitor, Network, Simulator, UdpFlow
+from repro.weather import specific_attenuation_db_per_km
+
+from .conftest import make_toy_design
+
+design_seed = st.integers(min_value=0, max_value=10_000)
+
+
+class TestDesignInvariants:
+    @given(design_seed, st.floats(50.0, 500.0))
+    @settings(max_examples=15, deadline=None)
+    def test_greedy_never_worse_than_fiber(self, seed, budget):
+        design = make_toy_design(7, seed=seed)
+        result = solve_heuristic(design, budget, ilp_refinement=False)
+        fiber = fiber_only_topology(design).mean_stretch()
+        assert result.objective <= fiber + 1e-9
+        assert result.objective >= 1.0 - 1e-9
+
+    @given(design_seed)
+    @settings(max_examples=15, deadline=None)
+    def test_greedy_budget_and_monotonicity(self, seed):
+        design = make_toy_design(8, seed=seed)
+        steps = greedy_sequence(design, 300.0)
+        costs = [s.cumulative_cost for s in steps]
+        stretches = [s.mean_stretch for s in steps]
+        assert costs == sorted(costs)
+        assert all(c <= 300.0 for c in costs)
+        assert stretches == sorted(stretches, reverse=True)
+
+    @given(design_seed)
+    @settings(max_examples=15, deadline=None)
+    def test_pruned_links_truly_useless(self, seed):
+        """Building a pruned-away link never improves mean stretch."""
+        design = make_toy_design(6, seed=seed)
+        useful = set(prune_useless_links(design))
+        useless = [e for e in design.candidate_links() if e not in useful]
+        base = fiber_only_topology(design).mean_stretch()
+        for link in useless[:3]:
+            topo = Topology(design=design, mw_links=frozenset({link}))
+            assert topo.mean_stretch() == pytest.approx(base, abs=1e-9)
+
+    @given(design_seed)
+    @settings(max_examples=10, deadline=None)
+    def test_stretch_matrix_lower_bound(self, seed):
+        design = make_toy_design(7, seed=seed)
+        result = solve_heuristic(design, 200.0, ilp_refinement=False)
+        s = result.topology.stretch_matrix()
+        vals = s[np.isfinite(s)]
+        assert np.all(vals >= 1.0 - 1e-9)
+
+
+class TestNetsimInvariants:
+    @given(
+        st.integers(2, 5),
+        st.floats(0.2, 1.4),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_packet_conservation_on_chain(self, n_nodes, load, seed):
+        """sent == received + dropped + in-flight on any chain/load."""
+        sim = Simulator()
+        edges = [
+            EdgeSpec(f"N{i}", f"N{i + 1}", 1e6, 0.001, queue_capacity=20)
+            for i in range(n_nodes - 1)
+        ]
+        net = Network.from_edges(sim, edges)
+        monitor = FlowMonitor(sim)
+        for link in net.links.values():
+            monitor.watch_link(link)
+        path = tuple(f"N{i}" for i in range(n_nodes))
+        flow = UdpFlow(
+            sim, net, monitor, 1, path, rate_bps=load * 1e6, seed=seed
+        )
+        flow.start()
+        sim.run(until=1.0)
+        flow.stop()
+        sim.run(until=3.0)  # drain
+        stats = monitor.flows[1]
+        assert stats.sent == stats.received + stats.dropped
+
+    @given(st.floats(0.1, 0.8), st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_underloaded_link_lossless(self, load, seed):
+        sim = Simulator()
+        net = Network.from_edges(sim, [EdgeSpec("A", "B", 1e6, 0.001)])
+        monitor = FlowMonitor(sim)
+        monitor.watch_link(net.link("A", "B"))
+        flow = UdpFlow(
+            sim, net, monitor, 1, ("A", "B"), rate_bps=load * 1e6, seed=seed
+        )
+        flow.start()
+        sim.run(until=1.5)
+        assert monitor.flows[1].loss_rate < 0.05
+
+    @given(st.floats(0.1, 0.9))
+    @settings(max_examples=10, deadline=None)
+    def test_utilization_tracks_offered_load(self, load):
+        sim = Simulator()
+        net = Network.from_edges(sim, [EdgeSpec("A", "B", 1e6, 0.0)])
+        monitor = FlowMonitor(sim)
+        flow = UdpFlow(
+            sim, net, monitor, 1, ("A", "B"), rate_bps=load * 1e6,
+            poisson=False, seed=0,
+        )
+        flow.start()
+        sim.run(until=4.0)
+        assert net.link("A", "B").utilization(4.0) == pytest.approx(load, abs=0.05)
+
+
+class TestPhysicsInvariants:
+    @given(st.floats(6.0, 18.0), st.floats(0.0, 120.0))
+    @settings(max_examples=40)
+    def test_attenuation_finite_and_nonnegative(self, freq, rain):
+        gamma = specific_attenuation_db_per_km(rain, freq)
+        assert np.isfinite(gamma)
+        assert gamma >= 0.0
+
+    @given(st.floats(6.0, 17.0), st.floats(1.0, 120.0))
+    @settings(max_examples=40)
+    def test_attenuation_increases_with_frequency(self, freq, rain):
+        low = specific_attenuation_db_per_km(rain, freq)
+        high = specific_attenuation_db_per_km(rain, freq + 1.0)
+        assert high >= low * 0.95  # monotone up to interpolation wiggle

@@ -1,0 +1,95 @@
+"""Integration tests: scenario assembly and end-to-end design."""
+
+import numpy as np
+import pytest
+
+from repro.core import design_network, fiber_only_topology
+from repro.scenarios import (
+    dc_dc_traffic,
+    dc_indices,
+    interdc_scenario,
+    us_scenario,
+)
+
+
+class TestSmallUsScenario:
+    def test_substrate_sizes(self, small_us_scenario):
+        sc = small_us_scenario
+        assert sc.n_sites == 20
+        assert len(sc.registry) > 200
+        assert sc.hop_graph.n_edges > 500
+
+    def test_fiber_slower_than_mw(self, small_us_scenario):
+        sc = small_us_scenario
+        finite = np.isfinite(sc.catalog.mw_km) & (sc.geodesic_km > 0)
+        # MW links are close to geodesic; fiber is ~1.9x.
+        assert np.median(sc.catalog.mw_km[finite] / sc.geodesic_km[finite]) < 1.3
+        assert np.nanmean(sc.fiber_km[finite] / sc.geodesic_km[finite]) > 1.6
+
+    def test_design_input_roundtrip(self, small_us_scenario):
+        di = small_us_scenario.design_input()
+        assert di.n_sites == 20
+        assert np.triu(di.traffic, 1).sum() == pytest.approx(1.0)
+
+    def test_end_to_end_design(self, small_us_scenario):
+        sc = small_us_scenario
+        di = sc.design_input()
+        res = design_network(
+            di,
+            budget_towers=600.0,
+            aggregate_gbps=50.0,
+            catalog=sc.catalog,
+            registry=sc.registry,
+            ilp_refinement=False,
+        )
+        fiber = fiber_only_topology(di).mean_stretch()
+        assert res.mean_stretch < fiber
+        assert res.mean_stretch >= 1.0
+        assert res.towers_used <= 600.0
+        assert res.cost_per_gb_usd is not None
+        assert 0.01 < res.cost_per_gb_usd < 100.0
+
+    def test_missing_catalog_raises(self, small_us_scenario):
+        di = small_us_scenario.design_input()
+        with pytest.raises(ValueError):
+            design_network(di, 100.0, aggregate_gbps=10.0)
+
+    def test_stretch_percentiles(self, small_us_scenario):
+        sc = small_us_scenario
+        res = design_network(
+            sc.design_input(), budget_towers=600.0, ilp_refinement=False
+        )
+        pct = res.stretch_percentiles((50, 99))
+        assert 1.0 <= pct[50] <= pct[99]
+
+
+class TestInterdcScenario:
+    def test_six_sites(self):
+        sc = interdc_scenario()
+        assert sc.n_sites == 6
+        assert dc_indices(sc) == list(range(6))
+
+    def test_dc_traffic_uniform(self):
+        sc = interdc_scenario()
+        h = dc_dc_traffic(sc)
+        vals = h[np.triu_indices(6, 1)]
+        assert np.allclose(vals, vals[0])
+
+    def test_design_runs(self):
+        sc = interdc_scenario()
+        res = design_network(
+            sc.design_input(dc_dc_traffic(sc)),
+            budget_towers=400.0,
+            aggregate_gbps=30.0,
+            catalog=sc.catalog,
+            registry=sc.registry,
+            ilp_refinement=False,
+        )
+        assert res.mean_stretch < res.fiber_mean_stretch
+
+
+class TestScenarioCaching:
+    def test_cache_returns_same_object(self):
+        a = us_scenario(n_sites=20)
+        b = us_scenario(n_sites=20)
+        assert a is b

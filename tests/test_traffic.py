@@ -1,0 +1,140 @@
+"""Tests for traffic matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.sites import Site
+from repro.traffic import (
+    city_to_dc_matrix,
+    dc_to_dc_matrix,
+    demands_gbps,
+    mixed_matrix,
+    perturbed_population_matrix,
+    population_product_matrix,
+)
+
+SITES = [
+    Site("A", 40.0, -100.0, 2_000_000),
+    Site("B", 41.0, -95.0, 1_000_000),
+    Site("C", 37.0, -90.0, 500_000),
+    Site("DC1", 39.0, -98.0, 0),
+    Site("DC2", 36.0, -94.0, 0),
+]
+
+
+def assert_valid_tm(h, n):
+    assert h.shape == (n, n)
+    assert np.allclose(h, h.T)
+    assert np.all(np.diag(h) == 0.0)
+    assert np.all(h >= 0.0)
+    assert np.triu(h, 1).sum() == pytest.approx(1.0)
+
+
+class TestPopulationProduct:
+    def test_valid(self):
+        h = population_product_matrix(SITES[:3])
+        assert_valid_tm(h, 3)
+
+    def test_proportionality(self):
+        h = population_product_matrix(SITES[:3])
+        # h_AB / h_AC = pop_B / pop_C = 2.
+        assert h[0, 1] / h[0, 2] == pytest.approx(2.0)
+
+    def test_zero_population_sites_get_no_traffic(self):
+        h = population_product_matrix(SITES)
+        assert h[3, 4] == 0.0
+        assert h[0, 3] == 0.0
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            population_product_matrix(SITES[3:])
+
+
+class TestPerturbation:
+    def test_gamma_zero_is_identity(self):
+        base = population_product_matrix(SITES[:3])
+        pert = perturbed_population_matrix(SITES[:3], gamma=0.0, seed=1)
+        assert np.allclose(base, pert)
+
+    def test_gamma_changes_matrix(self):
+        base = population_product_matrix(SITES[:3])
+        pert = perturbed_population_matrix(SITES[:3], gamma=0.5, seed=1)
+        assert not np.allclose(base, pert)
+        assert_valid_tm(pert, 3)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            perturbed_population_matrix(SITES[:3], gamma=1.5)
+
+    @given(st.floats(0.0, 1.0), st.integers(0, 100))
+    @settings(max_examples=40)
+    def test_always_valid(self, gamma, seed):
+        h = perturbed_population_matrix(SITES[:3], gamma=gamma, seed=seed)
+        assert_valid_tm(h, 3)
+
+
+class TestDcModels:
+    def test_dc_dc_uniform(self):
+        h = dc_to_dc_matrix(SITES, [3, 4])
+        assert_valid_tm(h, 5)
+        assert h[3, 4] == pytest.approx(1.0)
+        assert h[0, 1] == 0.0
+
+    def test_dc_dc_needs_two(self):
+        with pytest.raises(ValueError):
+            dc_to_dc_matrix(SITES, [3])
+
+    def test_city_dc_nearest_assignment(self):
+        h = city_to_dc_matrix(SITES, [3, 4])
+        assert_valid_tm(h, 5)
+        # A (40,-100) is nearer DC1 (39,-98) than DC2 (36,-94).
+        assert h[0, 3] > 0.0
+        assert h[0, 4] == 0.0
+        # C (37,-90) is nearer DC2.
+        assert h[2, 4] > 0.0
+        assert h[2, 3] == 0.0
+
+    def test_city_dc_population_weighting(self):
+        h = city_to_dc_matrix(SITES, [3, 4])
+        # A and B both map to DC1; traffic ratio = population ratio.
+        assert h[0, 3] / h[1, 3] == pytest.approx(2.0)
+
+    def test_city_dc_needs_dcs(self):
+        with pytest.raises(ValueError):
+            city_to_dc_matrix(SITES, [])
+
+
+class TestMixing:
+    def test_ratio_mix(self):
+        cc = population_product_matrix(SITES[:3])
+        n = 3
+        other = np.zeros((n, n))
+        other[0, 1] = other[1, 0] = 1.0
+        mixed = mixed_matrix([(cc, 4.0), (other, 6.0)])
+        assert_valid_tm(mixed, 3)
+        # The "other" component puts 60% of traffic on pair (0, 1).
+        assert mixed[0, 1] >= 0.6
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mixed_matrix([])
+
+    def test_shape_mismatch_raises(self):
+        a = population_product_matrix(SITES[:3])
+        b = dc_to_dc_matrix(SITES, [3, 4])
+        with pytest.raises(ValueError):
+            mixed_matrix([(a, 1.0), (b, 1.0)])
+
+
+class TestDemandScaling:
+    def test_aggregate_sum(self):
+        h = population_product_matrix(SITES[:3])
+        g = demands_gbps(h, 100.0)
+        assert np.triu(g, 1).sum() == pytest.approx(100.0)
+
+    def test_nonpositive_raises(self):
+        h = population_product_matrix(SITES[:3])
+        with pytest.raises(ValueError):
+            demands_gbps(h, 0.0)

@@ -1,0 +1,52 @@
+"""Tests for the ASCII topology renderer."""
+
+import pytest
+
+from repro.core import Topology, augment_capacity, solve_heuristic
+from repro.viz import render_topology
+
+
+class TestRenderTopology:
+    @pytest.fixture(scope="class")
+    def designed(self, small_us_scenario):
+        sc = small_us_scenario
+        topo = solve_heuristic(
+            sc.design_input(), 600.0, ilp_refinement=False
+        ).topology
+        return sc, topo
+
+    def test_renders_string(self, designed):
+        _, topo = designed
+        art = render_topology(topo)
+        assert isinstance(art, str)
+        assert "O" in art  # major sites present
+        assert "labels:" in art
+
+    def test_links_drawn(self, designed):
+        _, topo = designed
+        art = render_topology(topo)
+        assert "-" in art
+
+    def test_augmentation_glyphs(self, designed):
+        sc, topo = designed
+        aug = augment_capacity(topo, sc.catalog, sc.registry, 500.0)
+        art = render_topology(topo, augmentation=aug)
+        # Heavy links exist at 500 Gbps -> multi-series glyphs appear.
+        assert "=" in art or "#" in art
+
+    def test_canvas_size(self, designed):
+        _, topo = designed
+        art = render_topology(topo, width=60, height=20)
+        lines = art.split("\n")
+        assert all(len(line) <= 60 for line in lines[:20])
+
+    def test_too_small_canvas_raises(self, designed):
+        _, topo = designed
+        with pytest.raises(ValueError):
+            render_topology(topo, width=5, height=2)
+
+    def test_empty_topology_renders_sites_only(self, designed):
+        sc, _ = designed
+        empty = Topology(design=sc.design_input(), mw_links=frozenset())
+        art = render_topology(empty)
+        assert "o" in art.lower()

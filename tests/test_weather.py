@@ -1,0 +1,209 @@
+"""Tests for attenuation physics, storm fields, failures, loss traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.weather import (
+    PrecipitationYear,
+    US_CLIMATE,
+    effective_path_km,
+    hop_fails,
+    path_attenuation_db,
+    rain_coefficients,
+    specific_attenuation_db_per_km,
+    synthesize_hft_trace,
+)
+
+
+class TestCoefficients:
+    def test_known_10ghz_values(self):
+        k, alpha = rain_coefficients(10.0)
+        assert k == pytest.approx(0.01217, rel=1e-3)
+        assert alpha == pytest.approx(1.2571, rel=1e-3)
+
+    def test_interpolation_between_table_rows(self):
+        k10, _ = rain_coefficients(10.0)
+        k11, _ = rain_coefficients(11.0)
+        k12, _ = rain_coefficients(12.0)
+        assert k10 < k11 < k12
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            rain_coefficients(1.0)
+        with pytest.raises(ValueError):
+            rain_coefficients(99.0)
+
+
+class TestSpecificAttenuation:
+    def test_zero_rain_zero_attenuation(self):
+        assert specific_attenuation_db_per_km(0.0) == 0.0
+
+    def test_realistic_magnitude(self):
+        # Heavy rain (50 mm/h) at 11 GHz is a ~2 dB/km event.
+        gamma = specific_attenuation_db_per_km(50.0, 11.0)
+        assert 1.0 < gamma < 4.0
+
+    @given(st.floats(0.1, 150.0), st.floats(0.1, 150.0))
+    @settings(max_examples=50)
+    def test_monotone_in_rain(self, r1, r2):
+        lo, hi = sorted((r1, r2))
+        assert specific_attenuation_db_per_km(lo) <= specific_attenuation_db_per_km(hi)
+
+    def test_negative_rain_raises(self):
+        with pytest.raises(ValueError):
+            specific_attenuation_db_per_km(-1.0)
+
+    def test_vectorized(self):
+        rates = np.array([0.0, 10.0, 50.0])
+        gammas = specific_attenuation_db_per_km(rates)
+        assert gammas.shape == (3,)
+        assert gammas[0] == 0.0
+
+
+class TestEffectivePath:
+    def test_shorter_than_physical(self):
+        assert effective_path_km(50.0, 30.0) < 50.0
+
+    def test_heavier_rain_shorter_effective_path(self):
+        assert effective_path_km(50.0, 80.0) < effective_path_km(50.0, 10.0)
+
+    def test_zero_hop(self):
+        assert effective_path_km(0.0, 50.0) == 0.0
+
+
+class TestHopFailure:
+    def test_dry_hop_never_fails(self):
+        assert not hop_fails(100.0, 0.0)
+
+    def test_extreme_rain_fails_long_hop(self):
+        assert hop_fails(80.0, 100.0, fade_margin_db=30.0)
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            hop_fails(50.0, 10.0, fade_margin_db=0.0)
+
+    def test_longer_hop_fails_first(self):
+        rain = 45.0
+        short = path_attenuation_db(10.0, rain)
+        long = path_attenuation_db(90.0, rain)
+        assert long > short
+
+
+class TestPrecipitation:
+    def test_deterministic_per_day(self):
+        year = PrecipitationYear(seed=5)
+        a = year.storms_for_day(180)
+        b = year.storms_for_day(180)
+        assert a == b
+
+    def test_different_days_differ(self):
+        year = PrecipitationYear(seed=5)
+        assert year.storms_for_day(10) != year.storms_for_day(200)
+
+    def test_rates_non_negative_and_bounded(self):
+        year = PrecipitationYear()
+        lats = np.linspace(25, 49, 40)
+        lons = np.linspace(-120, -70, 40)
+        for day in (15, 100, 200, 300):
+            rate = year.rain_rate_mm_h(day, lats, lons)
+            assert np.all(rate >= 0.0)
+            assert np.all(rate <= 150.0)
+
+    def test_summer_has_more_storms_than_winter(self):
+        year = PrecipitationYear(seed=3)
+        summer = np.mean([len(year.storms_for_day(d)) for d in range(190, 220)])
+        winter = np.mean([len(year.storms_for_day(d)) for d in range(5, 35)])
+        assert summer > winter
+
+    def test_wet_bias_region_rainier(self):
+        year = PrecipitationYear(seed=9)
+        southeast, west = [], []
+        for day in range(1, 366, 3):
+            southeast.append(
+                float(year.rain_rate_mm_h(day, [32.0], [-88.0])[0])
+            )
+            west.append(float(year.rain_rate_mm_h(day, [40.0], [-118.0])[0]))
+        assert np.mean(southeast) > np.mean(west)
+
+    def test_invalid_day_raises(self):
+        with pytest.raises(ValueError):
+            PrecipitationYear().storms_for_day(0)
+
+    def test_storm_rate_peaks_at_cell_center(self):
+        year = PrecipitationYear(seed=11)
+        cells = year.storms_for_day(200)
+        assert cells, "expected storms on a summer day"
+        cell = max(cells, key=lambda c: c.peak_mm_h)
+        at_center = year.rain_rate_mm_h(200, [cell.lat], [cell.lon])[0]
+        far = year.rain_rate_mm_h(
+            200, [cell.lat + 8.0 if cell.lat < 42 else cell.lat - 8.0], [cell.lon]
+        )[0]
+        assert at_center >= far
+
+
+class TestYearlyAnalysis:
+    @pytest.fixture(scope="class")
+    def analysis(self, small_us_scenario):
+        from repro.core import solve_heuristic
+        from repro.weather import yearly_stretch_analysis
+
+        sc = small_us_scenario
+        topo = solve_heuristic(
+            sc.design_input(), 800.0, ilp_refinement=False
+        ).topology
+        return yearly_stretch_analysis(
+            topo, sc.catalog, sc.registry, n_intervals=80, seed=3
+        )
+
+    def test_ordering_best_p99_worst(self, analysis):
+        assert np.all(analysis.best <= analysis.p99 + 1e-9)
+        assert np.all(analysis.p99 <= analysis.worst + 1e-9)
+
+    def test_worst_never_exceeds_fiber(self, analysis):
+        """Failures reroute over fiber at worst, never worse than it."""
+        assert np.all(analysis.worst <= analysis.fiber + 1e-9)
+
+    def test_p99_close_to_best(self, analysis):
+        """Fig 7's headline: 99th-percentile ~ fair-weather stretch."""
+        assert np.median(analysis.p99) < np.median(analysis.best) * 1.25
+
+    def test_fiber_clearly_worse(self, analysis):
+        assert np.median(analysis.fiber) > 1.5 * np.median(analysis.best)
+
+    def test_some_weather_impact_exists(self, analysis):
+        assert analysis.links_failed_per_interval.sum() > 0
+
+
+class TestLossTraces:
+    def test_paper_headline_statistics(self):
+        trace = synthesize_hft_trace()
+        # Mean 16.1%, median 1.4% in the paper; synthetic trace must
+        # land in the neighborhood.
+        assert 0.10 < trace.mean < 0.25
+        assert 0.005 < trace.median < 0.04
+
+    def test_trace_length(self):
+        assert len(synthesize_hft_trace().loss_rates) == 2743
+
+    def test_rates_are_probabilities(self):
+        trace = synthesize_hft_trace()
+        assert np.all(trace.loss_rates >= 0.0)
+        assert np.all(trace.loss_rates <= 1.0)
+
+    def test_hurricane_segment_is_worse(self):
+        trace = synthesize_hft_trace(hurricane_days=4)
+        cut = len(trace.loss_rates) - 4 * 390
+        fair = trace.loss_rates[:cut]
+        storm = trace.loss_rates[cut:]
+        assert storm.mean() > 5 * fair.mean()
+
+    def test_deterministic(self):
+        a = synthesize_hft_trace(seed=1)
+        b = synthesize_hft_trace(seed=1)
+        assert np.array_equal(a.loss_rates, b.loss_rates)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_hft_trace(n_minutes=0)

@@ -1,0 +1,105 @@
+"""Deeper tests of the web load-engine internals."""
+
+import numpy as np
+import pytest
+
+from repro.apps.web import (
+    INIT_CWND,
+    MAX_CONNECTIONS_PER_ORIGIN,
+    MSS_BYTES,
+    WebObject,
+    WebPage,
+    _slow_start_rounds,
+    load_page,
+)
+
+
+def make_page(objects, rtts=(100.0,), compute=0.0):
+    return WebPage(
+        objects=tuple(objects), origin_rtts_ms=tuple(rtts),
+        onload_compute_ms=compute,
+    )
+
+
+def obj(i, parent=None, size=1000, origin=0, parse=0.0, think=0.0, req=500):
+    return WebObject(
+        obj_id=i, origin=origin, size_bytes=size, request_bytes=req,
+        parent=parent, parse_delay_ms=parse, server_think_ms=think,
+    )
+
+
+class TestSlowStartRounds:
+    def test_fits_initial_window(self):
+        assert _slow_start_rounds(INIT_CWND * MSS_BYTES) == 0
+        assert _slow_start_rounds(1) == 0
+
+    def test_one_extra_round(self):
+        # 11 segments need one doubling beyond the initial 10.
+        assert _slow_start_rounds(11 * MSS_BYTES) == 1
+
+    def test_large_object_logarithmic(self):
+        # 10 + 20 + 40 + 80 = 150 segments in 3 extra rounds.
+        assert _slow_start_rounds(150 * MSS_BYTES) == 3
+        assert _slow_start_rounds(151 * MSS_BYTES) == 4
+
+    def test_monotone(self):
+        rounds = [_slow_start_rounds(s) for s in range(1, 10**6, 50_000)]
+        assert rounds == sorted(rounds)
+
+
+class TestLoadEngineScheduling:
+    def test_single_object_timing(self):
+        # handshake RTT + think + 1 RTT response.
+        page = make_page([obj(0, size=1000, think=30.0)])
+        result = load_page(page)
+        assert result.plt_ms == pytest.approx(100.0 + 30.0 + 100.0)
+
+    def test_dependency_serialization(self):
+        # Child cannot start before parent finishes + parse delay.
+        page = make_page([
+            obj(0, size=1000, think=10.0),
+            obj(1, parent=0, size=1000, parse=50.0, think=10.0),
+        ])
+        result = load_page(page)
+        parent_done = 100.0 + 10.0 + 100.0
+        child_done = parent_done + 50.0 + 100.0 + 10.0 + 100.0
+        assert result.plt_ms == pytest.approx(child_done)
+
+    def test_connection_limit_queues_requests(self):
+        # 7 parallel children on one origin: the 7th waits for a
+        # connection (limit 6).
+        children = [obj(i, parent=0, size=1000) for i in range(1, 8)]
+        page = make_page([obj(0, size=1000)] + children)
+        result = load_page(page)
+        olts = result.object_load_times_ms
+        # The slowest child's OLT exceeds the fastest's: it queued.
+        child_olts = olts[1:]
+        assert max(child_olts) > min(child_olts) + 1.0
+        assert MAX_CONNECTIONS_PER_ORIGIN == 6
+
+    def test_multiple_origins_parallelize(self):
+        serial = make_page(
+            [obj(0)] + [obj(i, parent=0, origin=0) for i in range(1, 13)],
+            rtts=(100.0,),
+        )
+        parallel = make_page(
+            [obj(0)] + [obj(i, parent=0, origin=i % 2) for i in range(1, 13)],
+            rtts=(100.0, 100.0),
+        )
+        assert load_page(parallel).plt_ms <= load_page(serial).plt_ms
+
+    def test_onload_compute_added_once(self):
+        bare = make_page([obj(0)])
+        heavy = make_page([obj(0)], compute=500.0)
+        assert load_page(heavy).plt_ms == pytest.approx(
+            load_page(bare).plt_ms + 500.0
+        )
+
+    def test_scaling_only_c2s_halves_round_benefit(self):
+        # With symmetric halves, c2s-only scaling recovers exactly half
+        # of the per-round saving.
+        page = make_page([obj(0, size=1000)])
+        base = load_page(page).plt_ms
+        full = load_page(page, c2s_scale=1 / 3, s2c_scale=1 / 3).plt_ms
+        sel = load_page(page, c2s_scale=1 / 3, s2c_scale=1.0).plt_ms
+        assert (base - sel) == pytest.approx((base - full) / 2, rel=1e-6)
