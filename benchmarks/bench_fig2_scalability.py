@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from repro.core import solve_heuristic, solve_ilp
+from repro.core import solve
 from repro.scenarios import us_scenario
 
 from _support import report
@@ -35,15 +35,15 @@ def bench_fig2a_runtime_scaling(benchmark):
     ilp_times = []
     for n in ILP_SIZES:
         design = us_scenario(n_sites=n).design_input()
-        res = solve_ilp(design, TOWERS_PER_CITY * n, time_limit_s=600)
+        res = solve(design, TOWERS_PER_CITY * n, backend="ilp", time_limit_s=600)
         ilp_times.append(res.runtime_s)
         rows.append(f"{n:8d}  ILP        {res.runtime_s:9.2f}   {res.objective:.4f}")
     heur_times = {}
     for n in HEURISTIC_SIZES:
         design = us_scenario(n_sites=n).design_input()
         t0 = time.perf_counter()
-        res = solve_heuristic(
-            design, TOWERS_PER_CITY * n, ilp_refinement=n <= 12
+        res = solve(
+            design, TOWERS_PER_CITY * n, backend="heuristic", ilp_refinement=n <= 12
         )
         heur_times[n] = time.perf_counter() - t0
         rows.append(
@@ -61,7 +61,7 @@ def bench_fig2a_runtime_scaling(benchmark):
 
     design = us_scenario(n_sites=20).design_input()
     benchmark.pedantic(
-        lambda: solve_heuristic(design, 1000.0, ilp_refinement=False),
+        lambda: solve(design, 1000.0, backend="heuristic", ilp_refinement=False),
         rounds=1,
         iterations=1,
     )
@@ -73,8 +73,8 @@ def bench_fig2b_optimality(benchmark):
     for n in ILP_SIZES:
         design = us_scenario(n_sites=n).design_input()
         budget = TOWERS_PER_CITY * n
-        ilp = solve_ilp(design, budget, time_limit_s=600)
-        heur = solve_heuristic(design, budget)
+        ilp = solve(design, budget, backend="ilp", time_limit_s=600)
+        heur = solve(design, budget, backend="heuristic")
         match = round(ilp.objective, 2) == round(heur.objective, 2)
         matches.append(match)
         rows.append(
@@ -85,7 +85,7 @@ def bench_fig2b_optimality(benchmark):
 
     design = us_scenario(n_sites=8).design_input()
     benchmark.pedantic(
-        lambda: solve_heuristic(design, 400.0), rounds=1, iterations=1
+        lambda: solve(design, 400.0, backend="heuristic"), rounds=1, iterations=1
     )
 
 
@@ -93,8 +93,8 @@ def bench_fig2_ablation_pruning_oracle(benchmark):
     """A1: the exactness-preserving oracle shrinks the ILP drastically."""
     design = us_scenario(n_sites=8).design_input()
     budget = TOWERS_PER_CITY * 8
-    pruned = solve_ilp(design, budget, use_pruning=True)
-    full = solve_ilp(design, budget, use_pruning=False, time_limit_s=600)
+    pruned = solve(design, budget, backend="ilp", use_pruning=True).details
+    full = solve(design, budget, backend="ilp", use_pruning=False, time_limit_s=600).details
     rows = [
         "variant     variables  constraints  runtime_s  stretch",
         f"with oracle    {pruned.n_variables:7d}  {pruned.n_constraints:10d}  {pruned.runtime_s:8.2f}  {pruned.objective:.4f}",
@@ -104,7 +104,7 @@ def bench_fig2_ablation_pruning_oracle(benchmark):
     ]
     report("fig2_ablation_pruning", rows)
     benchmark.pedantic(
-        lambda: solve_ilp(design, budget, use_pruning=True),
+        lambda: solve(design, budget, backend="ilp", use_pruning=True),
         rounds=1,
         iterations=1,
     )

@@ -26,13 +26,21 @@ from .core import (
     CostModel,
     DesignInput,
     DesignResult,
+    HopPipeline,
+    SolveOutcome,
+    Solver,
     Topology,
     design_network,
     fiber_only_topology,
+    get_solver,
     greedy_sequence,
+    register_solver,
+    shared_pipeline,
+    solve,
     solve_heuristic,
     solve_ilp,
     solve_lp_rounding,
+    solver_names,
 )
 from .datasets import (
     Site,
@@ -60,9 +68,17 @@ __all__ = [
     "design_network",
     "fiber_only_topology",
     "greedy_sequence",
+    "HopPipeline",
+    "SolveOutcome",
+    "Solver",
+    "get_solver",
+    "register_solver",
+    "shared_pipeline",
+    "solve",
     "solve_heuristic",
     "solve_ilp",
     "solve_lp_rounding",
+    "solver_names",
     "Site",
     "eu_population_centers",
     "google_us_datacenters",

@@ -3,7 +3,10 @@
 Commands:
 
 * ``design``  — design a cISP for a scenario and print the summary
-  (optionally the ASCII map).
+  (optionally the ASCII map).  ``--solver`` picks any registered
+  topology backend (heuristic, ilp, lp_rounding, exhaustive,
+  evolution).
+* ``solvers`` — list the registered topology-solver backends.
 * ``sweep``   — budget sweep (the Fig 4a curve) for a scenario.
 * ``weather`` — yearly weather analysis for a designed network.
 * ``econ``    — the §8 value-per-GB table.
@@ -11,6 +14,7 @@ Commands:
 Examples::
 
     python -m repro design --scenario us --sites 30 --budget 1000 --map
+    python -m repro design --scenario us --sites 12 --solver ilp
     python -m repro sweep --scenario us --sites 40 --max-budget 3000
     python -m repro weather --sites 30 --budget 1000 --intervals 120
     python -m repro econ --cost-per-gb 0.81
@@ -41,15 +45,22 @@ def _cmd_design(args: argparse.Namespace) -> int:
     from .viz import render_topology
 
     scenario = _get_scenario(args.scenario, args.sites)
+    solver_kwargs = {}
+    if args.solver == "heuristic":
+        # The CLI favors speed; pass --refine to run the restricted ILP.
+        solver_kwargs["ilp_refinement"] = args.refine
     result = design_network(
         scenario.design_input(),
         budget_towers=args.budget,
         aggregate_gbps=args.gbps,
         catalog=scenario.catalog,
         registry=scenario.registry,
-        ilp_refinement=False,
+        solver=args.solver,
+        **solver_kwargs,
     )
     print(f"scenario:        {scenario.name} ({scenario.n_sites} sites)")
+    print(f"solver:          {result.backend} "
+          f"({result.solve_outcome.runtime_s:.2f}s)")
     print(f"budget:          {args.budget:.0f} towers "
           f"({result.towers_used:.0f} used)")
     print(f"MW links:        {result.mw_link_count}")
@@ -115,7 +126,20 @@ def _cmd_econ(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    from .core import get_solver, solver_names
+
+    print("backend      description")
+    for name in solver_names():
+        solver = get_solver(name)
+        doc_lines = (type(solver).__doc__ or "").strip().splitlines()
+        print(f"{name:12s} {doc_lines[0] if doc_lines else '(no description)'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from .core import solver_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="cISP (NSDI 2022) reproduction toolkit",
@@ -127,8 +151,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sites", type=int, default=30)
     p.add_argument("--budget", type=float, default=1000.0)
     p.add_argument("--gbps", type=float, default=100.0)
+    p.add_argument(
+        "--solver",
+        default="heuristic",
+        choices=solver_names(),
+        help="topology-solver backend (see the 'solvers' command)",
+    )
+    p.add_argument(
+        "--refine",
+        action="store_true",
+        help="heuristic only: run the restricted final ILP (slower)",
+    )
     p.add_argument("--map", action="store_true", help="print the ASCII map")
     p.set_defaults(func=_cmd_design)
+
+    p = sub.add_parser("solvers", help="list topology-solver backends")
+    p.set_defaults(func=_cmd_solvers)
 
     p = sub.add_parser("sweep", help="budget sweep (Fig 4a)")
     p.add_argument("--scenario", default="us")

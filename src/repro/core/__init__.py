@@ -22,7 +22,24 @@ from .media import (
     hollow_core_fiber_stretch,
     reprice_links_for_medium,
 )
-from .design import DesignResult, design_network, topology_from_links
+from .design import (
+    DesignResult,
+    SolveOutcome,
+    Solver,
+    design_network,
+    get_solver,
+    register_solver,
+    solve,
+    solver_names,
+    topology_from_links,
+)
+from .pipeline import (
+    CachingLosChecker,
+    HopPipeline,
+    PipelineStats,
+    enumerate_hops,
+    shared_pipeline,
+)
 from .heuristic import GreedyStep, HeuristicResult, greedy_sequence, solve_heuristic
 from .ilp import IlpResult, prune_useless_links, solve_ilp, useful_arcs_for_commodity
 from .lp_rounding import LpRoundingResult, solve_lp_rounding
@@ -55,8 +72,19 @@ __all__ = [
     "hollow_core_fiber_stretch",
     "reprice_links_for_medium",
     "DesignResult",
+    "SolveOutcome",
+    "Solver",
     "design_network",
+    "get_solver",
+    "register_solver",
+    "solve",
+    "solver_names",
     "topology_from_links",
+    "CachingLosChecker",
+    "HopPipeline",
+    "PipelineStats",
+    "enumerate_hops",
+    "shared_pipeline",
     "GreedyStep",
     "HeuristicResult",
     "greedy_sequence",

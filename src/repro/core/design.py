@@ -2,14 +2,23 @@
 
 :func:`design_network` is the library's front door: given a scenario's
 :class:`~repro.core.topology.DesignInput` (plus the link catalog and
-tower registry for capacity augmentation), it runs the cISP heuristic,
+tower registry for capacity augmentation), it runs a topology solver,
 provisions capacity for a target aggregate throughput, and applies the
 cost model.
+
+All topology optimizers — the cISP heuristic, the exact ILP, the
+LP-rounding baseline, the exhaustive oracle, and the greedy
+budget-evolution — sit behind one :class:`Solver` protocol with a
+string-keyed registry (:func:`get_solver`, :func:`solve`), so the CLI,
+scenarios, and benchmarks select backends by name with a single
+``solve(problem, budget, **opts)`` signature.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -39,9 +48,15 @@ class DesignResult:
     topology: Topology
     mean_stretch: float
     fiber_mean_stretch: float
-    heuristic: HeuristicResult
+    heuristic: HeuristicResult | None
     augmentation: AugmentationResult | None
     cost_per_gb_usd: float | None
+    solve_outcome: "SolveOutcome | None" = None
+
+    @property
+    def backend(self) -> str:
+        """Registry name of the solver that produced the topology."""
+        return self.solve_outcome.backend if self.solve_outcome else "heuristic"
 
     @property
     def mw_link_count(self) -> int:
@@ -65,7 +80,8 @@ def design_network(
     catalog: LinkCatalog | None = None,
     registry: TowerRegistry | None = None,
     cost_model: CostModel | None = None,
-    **heuristic_kwargs,
+    solver: str = "heuristic",
+    **solver_kwargs,
 ) -> DesignResult:
     """Design, provision, and cost a cISP network.
 
@@ -78,10 +94,10 @@ def design_network(
         catalog: Step-1 link catalog (tower paths for augmentation).
         registry: tower registry (spare-tower availability).
         cost_model: cost constants (defaults to the paper's).
-        **heuristic_kwargs: forwarded to
-            :func:`repro.core.heuristic.solve_heuristic`.
+        solver: topology-solver backend name (see :func:`solver_names`).
+        **solver_kwargs: forwarded to the backend's underlying solve.
     """
-    heuristic = solve_heuristic(design_input, budget_towers, **heuristic_kwargs)
+    outcome = solve(design_input, budget_towers, backend=solver, **solver_kwargs)
     fiber_stretch = fiber_only_topology(design_input).mean_stretch()
     augmentation = None
     cost_per_gb = None
@@ -91,17 +107,202 @@ def design_network(
                 "capacity augmentation needs the link catalog and tower registry"
             )
         augmentation = augment_capacity(
-            heuristic.topology, catalog, registry, aggregate_gbps
+            outcome.topology, catalog, registry, aggregate_gbps
         )
         cost_per_gb = augmentation.cost_per_gb(cost_model or CostModel())
     return DesignResult(
-        topology=heuristic.topology,
-        mean_stretch=heuristic.objective,
+        topology=outcome.topology,
+        mean_stretch=outcome.objective,
         fiber_mean_stretch=fiber_stretch,
-        heuristic=heuristic,
+        heuristic=outcome.details if solver == "heuristic" else None,
         augmentation=augmentation,
         cost_per_gb_usd=cost_per_gb,
+        solve_outcome=outcome,
     )
+
+
+# --------------------------------------------------------------------------
+# The unified solver backend.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """What every solver backend returns.
+
+    Attributes:
+        backend: registry name of the solver that produced this.
+        topology: the chosen MW-over-fiber topology.
+        objective: its traffic-weighted mean stretch.
+        runtime_s: wall-clock time of the solve.
+        details: the backend's native result object (``HeuristicResult``,
+            ``IlpResult``, ...), for callers that need solver-specific
+            diagnostics; None when the backend has no richer result.
+    """
+
+    backend: str
+    topology: Topology
+    objective: float
+    runtime_s: float
+    details: Any = None
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """One topology-design backend behind the uniform signature."""
+
+    name: str
+
+    def solve(
+        self, problem: DesignInput, budget: float, **opts
+    ) -> SolveOutcome:  # pragma: no cover - protocol
+        ...
+
+
+_SOLVERS: dict[str, Solver] = {}
+
+
+def register_solver(solver_cls):
+    """Class decorator: instantiate and register a solver by its name."""
+    instance = solver_cls()
+    name = instance.name
+    if not name or name != name.lower():
+        raise ValueError(f"solver name {name!r} must be a lowercase key")
+    _SOLVERS[name] = instance
+    return solver_cls
+
+
+def solver_names() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_SOLVERS)
+
+
+def get_solver(name: str) -> Solver:
+    """The registered solver for ``name`` (KeyError with choices otherwise)."""
+    try:
+        return _SOLVERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver {name!r}; registered: {', '.join(solver_names())}"
+        ) from None
+
+
+def solve(problem: DesignInput, budget: float, backend: str = "heuristic", **opts) -> SolveOutcome:
+    """Solve a design problem through the registry.
+
+    Args:
+        problem: the design input.
+        budget: tower budget B.
+        backend: registry name (see :func:`solver_names`).
+        **opts: backend-specific options, forwarded verbatim.
+    """
+    return get_solver(backend).solve(problem, budget, **opts)
+
+
+@register_solver
+class HeuristicSolver:
+    """The paper's scalable pipeline: pruning + greedy + restricted ILP."""
+
+    name = "heuristic"
+
+    def solve(self, problem: DesignInput, budget: float, **opts) -> SolveOutcome:
+        result = solve_heuristic(problem, budget, **opts)
+        return SolveOutcome(
+            backend=self.name,
+            topology=result.topology,
+            objective=result.objective,
+            runtime_s=result.runtime_s,
+            details=result,
+        )
+
+
+@register_solver
+class IlpSolver:
+    """The exact flow ILP (optimal, exponential-ish runtime)."""
+
+    name = "ilp"
+
+    def solve(self, problem: DesignInput, budget: float, **opts) -> SolveOutcome:
+        from .ilp import solve_ilp
+
+        result = solve_ilp(problem, budget, **opts)
+        return SolveOutcome(
+            backend=self.name,
+            topology=result.topology,
+            objective=result.objective,
+            runtime_s=result.runtime_s,
+            details=result,
+        )
+
+
+@register_solver
+class LpRoundingSolver:
+    """The LP-relaxation + threshold-rounding baseline."""
+
+    name = "lp_rounding"
+
+    def solve(self, problem: DesignInput, budget: float, **opts) -> SolveOutcome:
+        from .lp_rounding import solve_lp_rounding
+
+        result = solve_lp_rounding(problem, budget, **opts)
+        return SolveOutcome(
+            backend=self.name,
+            topology=result.topology,
+            objective=result.objective,
+            runtime_s=result.runtime_s,
+            details=result,
+        )
+
+
+@register_solver
+class ExhaustiveSolver:
+    """Brute-force subset enumeration (ground truth on tiny instances)."""
+
+    name = "exhaustive"
+
+    def solve(self, problem: DesignInput, budget: float, **opts) -> SolveOutcome:
+        from .exhaustive import solve_exhaustive
+
+        start = time.perf_counter()
+        topology = solve_exhaustive(problem, budget, **opts)
+        return SolveOutcome(
+            backend=self.name,
+            topology=topology,
+            objective=topology.mean_stretch(),
+            runtime_s=time.perf_counter() - start,
+            details=None,
+        )
+
+
+@register_solver
+class EvolutionSolver:
+    """Greedy budget-evolution: the incremental build-out's topology at B.
+
+    The greedy sequence is run once to the requested budget and the
+    affordable prefix is the design — the deployment-order view of
+    Fig 4a / §7.  ``details`` carries the step list so callers can read
+    off every smaller budget from the same solve.
+    """
+
+    name = "evolution"
+
+    def solve(self, problem: DesignInput, budget: float, **opts) -> SolveOutcome:
+        from .heuristic import greedy_sequence
+
+        start = time.perf_counter()
+        steps = greedy_sequence(problem, budget, **opts)
+        # greedy_sequence only emits picks whose cumulative cost fits
+        # the budget, so the whole sequence is the affordable prefix.
+        topology = Topology(
+            design=problem, mw_links=frozenset(s.link for s in steps)
+        )
+        return SolveOutcome(
+            backend=self.name,
+            topology=topology,
+            objective=topology.mean_stretch(),
+            runtime_s=time.perf_counter() - start,
+            details=tuple(steps),
+        )
 
 
 def topology_from_links(

@@ -11,6 +11,7 @@ Two variants built on the US substrate:
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from ..datasets.datacenters import google_us_datacenters
 from ..datasets.us_cities import us_population_centers
@@ -19,21 +20,32 @@ from ..towers.synthesis import SynthesisConfig
 from ..traffic.matrices import city_to_dc_matrix, dc_to_dc_matrix
 from .base import Scenario, build_scenario
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.pipeline import HopPipeline
+
 
 @lru_cache(maxsize=2)
-def interdc_scenario(seed: int = 44) -> Scenario:
-    """The six-data-center scenario."""
+def interdc_scenario(seed: int = 44, pipeline: "HopPipeline | None" = None) -> Scenario:
+    """The six-data-center scenario.
+
+    Shares the US terrain-profile cache with the city scenarios by
+    default: DC tower fields over the same terrain reuse any profiles
+    already sampled there.
+    """
     sites = google_us_datacenters()
     return build_scenario(
         name="us-interdc",
         sites=sites,
         terrain=us_terrain(),
         synthesis_config=SynthesisConfig(seed=seed),
+        pipeline=pipeline,
     )
 
 
 @lru_cache(maxsize=2)
-def city_dc_scenario(n_cities: int = 120, seed: int = 45) -> Scenario:
+def city_dc_scenario(
+    n_cities: int = 120, seed: int = 45, pipeline: "HopPipeline | None" = None
+) -> Scenario:
     """Cities plus data centers in one site list.
 
     The DC sites are appended after the cities, so DC indices are
@@ -46,6 +58,7 @@ def city_dc_scenario(n_cities: int = 120, seed: int = 45) -> Scenario:
         sites=sites,
         terrain=us_terrain(),
         synthesis_config=SynthesisConfig(seed=seed),
+        pipeline=pipeline,
     )
 
 

@@ -14,9 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..geo.coords import haversine_km
 from .los import LosChecker
-from .registry import Tower, TowerRegistry
+from .registry import TowerRegistry
 
 
 @dataclass(frozen=True)
@@ -54,61 +53,18 @@ class HopGraph:
 def candidate_pairs(
     registry: TowerRegistry, max_range_km: float
 ) -> tuple[np.ndarray, np.ndarray]:
-    """All tower pairs within ``max_range_km``, via grid bucketing.
+    """All tower pairs within ``max_range_km``, via the grid spatial index.
 
-    Returns aligned (a, b) index arrays with a < b.
+    Returns aligned (a, b) index arrays with a < b.  Thin wrapper over
+    :class:`~repro.geo.spatial.GridIndex` for callers that hold a
+    registry rather than raw coordinate arrays.
     """
-    lats, lons = registry.coordinates()
-    n = len(registry)
-    if n == 0:
-        return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
-    cell_deg = max(max_range_km / 110.0, 0.05)
-    cell_i = np.floor(lats / cell_deg).astype(int)
-    cell_j = np.floor(lons / cell_deg).astype(int)
-    buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
-    for k in range(n):
-        buckets[(cell_i[k], cell_j[k])].append(k)
+    from ..geo.spatial import GridIndex
 
-    pair_a: list[np.ndarray] = []
-    pair_b: list[np.ndarray] = []
-    # Longitude cells shrink with latitude; widen the search window.
-    max_abs_lat = min(np.abs(lats).max() + 1.0, 85.0)
-    lon_reach = int(np.ceil(1.0 / max(np.cos(np.radians(max_abs_lat)), 0.1)))
-    for (ci, cj), members in buckets.items():
-        members_arr = np.array(members)
-        neighborhood: list[int] = []
-        for di in range(0, 2):
-            for dj in range(-lon_reach, lon_reach + 1):
-                if di == 0 and dj < 0:
-                    continue
-                other = buckets.get((ci + di, cj + dj))
-                if other is None:
-                    continue
-                if di == 0 and dj == 0:
-                    # Within-cell pairs handled separately below.
-                    continue
-                neighborhood.extend(other)
-        if len(members_arr) > 1:
-            ii, jj = np.triu_indices(len(members_arr), k=1)
-            pair_a.append(members_arr[ii])
-            pair_b.append(members_arr[jj])
-        if neighborhood:
-            nb = np.array(neighborhood)
-            aa = np.repeat(members_arr, len(nb))
-            bb = np.tile(nb, len(members_arr))
-            pair_a.append(np.minimum(aa, bb))
-            pair_b.append(np.maximum(aa, bb))
-    if not pair_a:
+    lats, lons = registry.coordinates()
+    if len(registry) == 0 or max_range_km <= 0:
         return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
-    a = np.concatenate(pair_a)
-    b = np.concatenate(pair_b)
-    # Deduplicate (cells at grid boundaries can produce repeats).
-    keys = a.astype(np.int64) * n + b
-    _, unique_idx = np.unique(keys, return_index=True)
-    a, b = a[unique_idx], b[unique_idx]
-    dist = haversine_km(lats[a], lons[a], lats[b], lons[b])
-    mask = (dist <= max_range_km) & (a != b)
-    return a[mask], b[mask]
+    return GridIndex(lats, lons, max_range_km).pairs_within(max_range_km)
 
 
 def build_hop_graph(
@@ -116,34 +72,14 @@ def build_hop_graph(
     checker: LosChecker,
     batch_size: int = 4096,
 ) -> HopGraph:
-    """Check every in-range tower pair for LOS and assemble the hop graph."""
-    max_range = checker.config.radio.max_range_km
-    cand_a, cand_b = candidate_pairs(registry, max_range)
-    towers = registry.towers
-    keep_a: list[np.ndarray] = []
-    keep_b: list[np.ndarray] = []
-    for start in range(0, len(cand_a), batch_size):
-        sl = slice(start, start + batch_size)
-        batch_a = [towers[i] for i in cand_a[sl]]
-        batch_b = [towers[i] for i in cand_b[sl]]
-        ok = checker.batch_feasible(batch_a, batch_b)
-        keep_a.append(cand_a[sl][ok])
-        keep_b.append(cand_b[sl][ok])
-    if keep_a:
-        edges_a = np.concatenate(keep_a)
-        edges_b = np.concatenate(keep_b)
-    else:
-        edges_a = np.zeros(0, dtype=int)
-        edges_b = np.zeros(0, dtype=int)
-    lats, lons = registry.coordinates()
-    lengths = (
-        haversine_km(lats[edges_a], lons[edges_a], lats[edges_b], lons[edges_b])
-        if len(edges_a)
-        else np.zeros(0)
-    )
-    return HopGraph(
-        n_towers=len(registry),
-        edges_a=edges_a,
-        edges_b=edges_b,
-        lengths_km=np.atleast_1d(lengths),
-    )
+    """Check every in-range tower pair for LOS and assemble the hop graph.
+
+    Delegates to the candidate-hop pipeline
+    (:mod:`repro.core.pipeline`): spatial pruning first, then chunked
+    vectorized LoS.  Construct a
+    :class:`~repro.core.pipeline.HopPipeline` directly to reuse terrain
+    caches across enumerations.
+    """
+    from ..core.pipeline import HopPipeline
+
+    return HopPipeline(checker, chunk_size=batch_size).enumerate_hops(registry)

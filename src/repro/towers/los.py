@@ -70,8 +70,49 @@ def _unit_vectors(lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
     )
 
 
+def profile_sample_points(
+    lat_a: np.ndarray,
+    lon_a: np.ndarray,
+    lat_b: np.ndarray,
+    lon_b: np.ndarray,
+    m: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interior great-circle sample coordinates for aligned endpoint arrays.
+
+    Returns (sample_lats, sample_lons), each of shape (n, m).  Fractions
+    exclude the endpoints (towers clear themselves); interpolation is
+    spherical (slerp), exact on the sphere.
+    """
+    lat_a = np.atleast_1d(np.asarray(lat_a, dtype=float))
+    lon_a = np.atleast_1d(np.asarray(lon_a, dtype=float))
+    lat_b = np.atleast_1d(np.asarray(lat_b, dtype=float))
+    lon_b = np.atleast_1d(np.asarray(lon_b, dtype=float))
+    d = np.atleast_1d(haversine_km(lat_a, lon_a, lat_b, lon_b))
+    t_frac = np.linspace(0.0, 1.0, m + 2)[1:-1]
+    va = _unit_vectors(lat_a, lon_a)
+    vb = _unit_vectors(lat_b, lon_b)
+    omega = d / EARTH_RADIUS_KM
+    sin_omega = np.sin(omega)
+    sin_omega = np.where(sin_omega < 1e-12, 1.0, sin_omega)
+    wa = np.sin((1.0 - t_frac)[None, :] * omega[:, None]) / sin_omega[:, None]
+    wb = np.sin(t_frac[None, :] * omega[:, None]) / sin_omega[:, None]
+    pts = wa[..., None] * va[:, None, :] + wb[..., None] * vb[:, None, :]
+    norm = np.linalg.norm(pts, axis=-1, keepdims=True)
+    pts = pts / np.where(norm > 0, norm, 1.0)
+    sample_lats = np.degrees(np.arcsin(np.clip(pts[..., 2], -1.0, 1.0)))
+    sample_lons = np.degrees(np.arctan2(pts[..., 1], pts[..., 0]))
+    return sample_lats, sample_lons
+
+
 class LosChecker:
-    """Vectorized line-of-sight feasibility for tower pairs."""
+    """Vectorized line-of-sight feasibility for tower pairs.
+
+    Terrain access goes through :meth:`profile_terrain_m` and
+    :meth:`ground_elevation_m`, which subclasses may override — the
+    candidate-hop pipeline's :class:`~repro.core.pipeline.CachingLosChecker`
+    memoizes them so repeated enumerations (parameter sweeps, reruns)
+    skip the terrain sampling entirely.
+    """
 
     def __init__(self, terrain: TerrainModel, config: LosConfig | None = None):
         self.terrain = terrain
@@ -86,67 +127,119 @@ class LosChecker:
         """Single-pair convenience wrapper around :meth:`batch_feasible`."""
         return bool(self.batch_feasible([a], [b])[0])
 
+    def sample_count(self, distance_km) -> np.ndarray:
+        """Interior profile samples for hops of the given length(s).
+
+        Deterministic per pair (independent of batch composition), so a
+        hop's verdict is the same whether it is checked alone or inside
+        any batch.
+        """
+        cfg = self.config
+        d = np.asarray(distance_km, dtype=float)
+        return np.clip(
+            np.ceil(d / cfg.sample_spacing_km), cfg.min_samples, cfg.max_samples
+        ).astype(int)
+
+    def profile_terrain_m(
+        self,
+        lat_a: np.ndarray,
+        lon_a: np.ndarray,
+        lat_b: np.ndarray,
+        lon_b: np.ndarray,
+        m: int,
+    ) -> np.ndarray:
+        """Terrain heights at the m interior samples of each hop, (n, m)."""
+        sample_lats, sample_lons = profile_sample_points(lat_a, lon_a, lat_b, lon_b, m)
+        n = sample_lats.shape[0]
+        return self.terrain.elevation_m(
+            sample_lats.ravel(), sample_lons.ravel()
+        ).reshape(n, m)
+
+    def ground_elevation_m(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Terrain heights at tower bases, (n,)."""
+        return np.atleast_1d(self.terrain.elevation_m(lats, lons))
+
     def batch_feasible(self, towers_a: list[Tower], towers_b: list[Tower]) -> np.ndarray:
         """Feasibility mask for aligned lists of tower pairs.
 
         Returns a boolean array of shape (len(pairs),).  Pairs beyond
-        the radio range are infeasible.  All pairs in one call share the
-        same interior sample count (sized for the longest hop in the
-        batch), so callers should batch pairs of similar length when
-        maximum fidelity matters; the sample count is already
-        conservative for shorter hops.
+        the radio range are infeasible.  Each pair's profile is sampled
+        at its own :meth:`sample_count` (pairs of equal count are
+        evaluated together), so verdicts are batch-invariant: checking
+        a pair alone or inside any batch gives the same answer.
         """
         if len(towers_a) != len(towers_b):
             raise ValueError("tower lists must be aligned")
-        n = len(towers_a)
-        if n == 0:
+        if len(towers_a) == 0:
             return np.zeros(0, dtype=bool)
+        return self.feasible_arrays(
+            np.array([t.lat for t in towers_a]),
+            np.array([t.lon for t in towers_a]),
+            np.array([t.height_m for t in towers_a]),
+            np.array([t.lat for t in towers_b]),
+            np.array([t.lon for t in towers_b]),
+            np.array([t.height_m for t in towers_b]),
+        )
+
+    def feasible_arrays(
+        self,
+        lat_a: np.ndarray,
+        lon_a: np.ndarray,
+        h_a: np.ndarray,
+        lat_b: np.ndarray,
+        lon_b: np.ndarray,
+        h_b: np.ndarray,
+        chunk_size: int | None = None,
+    ) -> np.ndarray:
+        """Feasibility mask for aligned endpoint coordinate/height arrays.
+
+        The array-based core behind :meth:`batch_feasible`: applies the
+        range filter, groups pairs by their deterministic per-pair
+        sample count, and (optionally) bounds each vectorized batch at
+        ``chunk_size`` pairs so memory stays flat on huge candidate
+        sets.  The candidate-hop pipeline calls this directly.
+        """
         cfg = self.config
-        lat_a = np.array([t.lat for t in towers_a])
-        lon_a = np.array([t.lon for t in towers_a])
-        lat_b = np.array([t.lat for t in towers_b])
-        lon_b = np.array([t.lon for t in towers_b])
-        dist = haversine_km(lat_a, lon_a, lat_b, lon_b)
-        dist = np.atleast_1d(dist)
+        dist = np.atleast_1d(haversine_km(lat_a, lon_a, lat_b, lon_b))
+        n = len(dist)
         in_range = (dist <= cfg.radio.max_range_km) & (dist > 1e-6)
         result = np.zeros(n, dtype=bool)
         if not in_range.any():
             return result
+        samples = self.sample_count(dist)
+        for m in np.unique(samples[in_range]):
+            idx = np.where(in_range & (samples == m))[0]
+            step = len(idx) if chunk_size is None else chunk_size
+            for start in range(0, len(idx), step):
+                sl = idx[start : start + step]
+                result[sl] = self._feasible_at_samples(
+                    lat_a[sl], lon_a[sl], h_a[sl],
+                    lat_b[sl], lon_b[sl], h_b[sl],
+                    dist[sl], int(m),
+                )
+        return result
 
-        idx = np.where(in_range)[0]
-        d = dist[idx]
-        m = int(
-            np.clip(
-                np.ceil(d.max() / cfg.sample_spacing_km), cfg.min_samples, cfg.max_samples
-            )
-        )
-        # Spherical interpolation of the profile points for all pairs at
-        # once: fractions exclude the endpoints (towers clear themselves).
+    def _feasible_at_samples(
+        self,
+        lat_a: np.ndarray,
+        lon_a: np.ndarray,
+        h_a: np.ndarray,
+        lat_b: np.ndarray,
+        lon_b: np.ndarray,
+        h_b: np.ndarray,
+        d: np.ndarray,
+        m: int,
+    ) -> np.ndarray:
+        """Verdicts for in-range pairs sharing one interior sample count."""
+        cfg = self.config
         t_frac = np.linspace(0.0, 1.0, m + 2)[1:-1]
-        va = _unit_vectors(lat_a[idx], lon_a[idx])
-        vb = _unit_vectors(lat_b[idx], lon_b[idx])
-        omega = d / EARTH_RADIUS_KM
-        sin_omega = np.sin(omega)
-        sin_omega = np.where(sin_omega < 1e-12, 1.0, sin_omega)
-        wa = np.sin((1.0 - t_frac)[None, :] * omega[:, None]) / sin_omega[:, None]
-        wb = np.sin(t_frac[None, :] * omega[:, None]) / sin_omega[:, None]
-        pts = wa[..., None] * va[:, None, :] + wb[..., None] * vb[:, None, :]
-        norm = np.linalg.norm(pts, axis=-1, keepdims=True)
-        pts = pts / np.where(norm > 0, norm, 1.0)
-        sample_lats = np.degrees(np.arcsin(np.clip(pts[..., 2], -1.0, 1.0)))
-        sample_lons = np.degrees(np.arctan2(pts[..., 1], pts[..., 0]))
-
-        terrain_m = self.terrain.elevation_m(
-            sample_lats.ravel(), sample_lons.ravel()
-        ).reshape(len(idx), m)
+        terrain_m = self.profile_terrain_m(lat_a, lon_a, lat_b, lon_b, m)
 
         # Antenna altitudes at both ends.
-        ground_a = self.terrain.elevation_m(lat_a[idx], lon_a[idx])
-        ground_b = self.terrain.elevation_m(lat_b[idx], lon_b[idx])
-        h_a = np.array([towers_a[i].height_m for i in idx]) * cfg.usable_height_fraction
-        h_b = np.array([towers_b[i].height_m for i in idx]) * cfg.usable_height_fraction
-        alt_a = ground_a + h_a
-        alt_b = ground_b + h_b
+        ground_a = self.ground_elevation_m(lat_a, lon_a)
+        ground_b = self.ground_elevation_m(lat_b, lon_b)
+        alt_a = ground_a + h_a * cfg.usable_height_fraction
+        alt_b = ground_b + h_b * cfg.usable_height_fraction
 
         # Sight-line altitude at each sample (linear in along-path distance).
         sight = alt_a[:, None] + (alt_b - alt_a)[:, None] * t_frac[None, :]
@@ -154,5 +247,4 @@ class LosChecker:
         d2 = d[:, None] * (1.0 - t_frac[None, :])
         clearance = cfg.radio.clearance_m(d1, d2)
         obstruction = terrain_m + cfg.clutter_m + clearance
-        result[idx] = np.all(sight >= obstruction, axis=1)
-        return result
+        return np.all(sight >= obstruction, axis=1)

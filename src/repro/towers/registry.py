@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..geo.coords import GeoPoint, haversine_km
+from ..geo.coords import GeoPoint
+from ..geo.spatial import KM_PER_DEG_LAT, GridIndex
 
 #: Paper's FCC height cutoff, metres.
 DEFAULT_MIN_FCC_HEIGHT_M = 100.0
@@ -67,12 +68,16 @@ class TowerRegistry:
             raise ValueError("index cell size must be positive")
         self._towers = list(towers)
         self._cell_deg = index_cell_deg
-        self._grid: dict[tuple[int, int], list[int]] = defaultdict(list)
-        for i, t in enumerate(self._towers):
-            self._grid[self._cell(t.lat, t.lon)].append(i)
+        self._index: GridIndex | None = None
+        if self._towers:
+            lats = np.array([t.lat for t in self._towers])
+            lons = np.array([t.lon for t in self._towers])
+            self._index = GridIndex(lats, lons, radius_km=index_cell_deg * KM_PER_DEG_LAT)
 
-    def _cell(self, lat: float, lon: float) -> tuple[int, int]:
-        return (int(np.floor(lat / self._cell_deg)), int(np.floor(lon / self._cell_deg)))
+    @property
+    def spatial_index(self) -> GridIndex | None:
+        """The registry's grid index (None when empty)."""
+        return self._index
 
     def __len__(self) -> int:
         return len(self._towers)
@@ -97,23 +102,10 @@ class TowerRegistry:
         """All towers within ``radius_km`` of ``point``."""
         if radius_km < 0:
             raise ValueError("radius must be non-negative")
-        # Conservative cell search window.
-        lat_pad = radius_km / 110.0 + self._cell_deg
-        lon_pad = radius_km / (111.0 * max(np.cos(np.radians(point.lat)), 0.1)) + self._cell_deg
-        lat_lo, lat_hi = point.lat - lat_pad, point.lat + lat_pad
-        lon_lo, lon_hi = point.lon - lon_pad, point.lon + lon_pad
-        out = []
-        ci_lo, _ = self._cell(lat_lo, 0)
-        ci_hi, _ = self._cell(lat_hi, 0)
-        _, cj_lo = self._cell(0, lon_lo)
-        _, cj_hi = self._cell(0, lon_hi)
-        for ci in range(ci_lo, ci_hi + 1):
-            for cj in range(cj_lo, cj_hi + 1):
-                for idx in self._grid.get((ci, cj), ()):
-                    t = self._towers[idx]
-                    if haversine_km(point.lat, point.lon, t.lat, t.lon) <= radius_km:
-                        out.append(t)
-        return out
+        if self._index is None:
+            return []
+        idx = self._index.query_radius(point.lat, point.lon, radius_km)
+        return [self._towers[i] for i in sorted(idx)]
 
     def count_near(self, point: GeoPoint, radius_km: float) -> int:
         """Number of towers within ``radius_km`` of ``point``."""

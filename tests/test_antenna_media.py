@@ -25,7 +25,7 @@ from repro.geo.antenna import (
     series_for_bandwidth_gbps,
 )
 
-from .conftest import make_toy_design
+from conftest import make_toy_design
 
 
 class TestAntennaGeometry:

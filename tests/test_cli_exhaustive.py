@@ -6,7 +6,7 @@ from repro.cli import build_parser, main
 from repro.core import solve_ilp
 from repro.core.exhaustive import solve_exhaustive
 
-from .conftest import make_toy_design
+from conftest import make_toy_design
 
 
 class TestExhaustive:
@@ -71,3 +71,31 @@ class TestCli:
     def test_unknown_scenario_exits(self):
         with pytest.raises(SystemExit):
             main(["design", "--scenario", "mars"])
+
+    def test_solvers_command_lists_all_backends(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("heuristic", "ilp", "lp_rounding", "exhaustive", "evolution"):
+            assert name in out
+
+    @pytest.mark.parametrize(
+        "solver,sites",
+        [
+            ("heuristic", 10),
+            ("ilp", 8),
+            ("lp_rounding", 8),
+            ("exhaustive", 5),
+            ("evolution", 10),
+        ],
+    )
+    def test_design_with_every_solver_backend(self, capsys, solver, sites):
+        """All five registry backends are reachable from the CLI."""
+        assert main(["design", "--sites", str(sites), "--budget", "300",
+                     "--gbps", "20", "--solver", solver]) == 0
+        out = capsys.readouterr().out
+        assert f"solver:          {solver}" in out
+        assert "mean stretch" in out
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["design", "--solver", "annealing"])

@@ -21,7 +21,7 @@ from repro.core import (
 )
 from repro.core.ilp import useful_arcs_for_commodity
 
-from .conftest import make_toy_design
+from conftest import make_toy_design
 
 
 class TestPruning:

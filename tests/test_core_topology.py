@@ -6,7 +6,7 @@ import pytest
 from repro.core import DesignInput, Topology, fiber_only_topology
 from repro.core.topology import mean_stretch_from_distances
 
-from .conftest import make_toy_design
+from conftest import make_toy_design
 
 
 class TestDesignInput:

@@ -91,3 +91,23 @@ class TestUdpExperiments:
         _, topo = designed_20
         with pytest.raises(ValueError):
             run_udp_experiment(topo, 50.0, 0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_results(self, designed_20):
+        """Two runs with one seed reproduce delivery/loss exactly."""
+        _, topo = designed_20
+        first = run_udp_experiment(topo, 50.0, 0.6, duration_s=0.5, seed=3)
+        second = run_udp_experiment(topo, 50.0, 0.6, duration_s=0.5, seed=3)
+        assert first.mean_delay_ms == second.mean_delay_ms
+        assert first.loss_rate == second.loss_rate
+        assert first.max_link_utilization == second.max_link_utilization
+        assert first.input_rate_fraction == second.input_rate_fraction
+
+    def test_seed_changes_arrivals(self, designed_20):
+        """Different seeds draw different Poisson arrival processes."""
+        _, topo = designed_20
+        a = run_udp_experiment(topo, 50.0, 0.6, duration_s=0.5, seed=3)
+        b = run_udp_experiment(topo, 50.0, 0.6, duration_s=0.5, seed=4)
+        # Same load, same topology — only the arrival randomness moves.
+        assert (a.mean_delay_ms, a.loss_rate) != (b.mean_delay_ms, b.loss_rate)

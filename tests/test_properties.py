@@ -19,7 +19,7 @@ from repro.core import (
 from repro.netsim import EdgeSpec, FlowMonitor, Network, Simulator, UdpFlow
 from repro.weather import specific_attenuation_db_per_km
 
-from .conftest import make_toy_design
+from conftest import make_toy_design
 
 design_seed = st.integers(min_value=0, max_value=10_000)
 
