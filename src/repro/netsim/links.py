@@ -9,6 +9,7 @@ it is native).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from .engine import Simulator
@@ -52,7 +53,7 @@ class Link:
         self.delay_s = delay_s
         self.queue_capacity = queue_capacity
         self.peer: "Node | None" = None
-        self._queue: list[Packet] = []
+        self._queue: deque[Packet] = deque()
         self._busy = False
         self.tx_packets = 0
         self.tx_bits = 0
@@ -124,7 +125,7 @@ class Link:
         peer = self.peer
         self.sim.schedule(self.delay_s, lambda: peer.receive(packet))
         if self._queue:
-            self._transmit(self._queue.pop(0))
+            self._transmit(self._queue.popleft())
         else:
             self._busy = False
 
