@@ -8,10 +8,13 @@ by re-running ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
+import time
 from functools import lru_cache
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def report(experiment: str, lines: list[str]) -> None:
@@ -21,6 +24,29 @@ def report(experiment: str, lines: list[str]) -> None:
     (RESULTS_DIR / f"{experiment}.txt").write_text(text)
     print(f"\n=== {experiment} ===")
     print(text)
+
+
+def write_bench_json(experiment: str, payload: dict) -> Path:
+    """Append one run record to ``BENCH_<experiment>.json`` at the repo root.
+
+    The file accumulates a machine-readable perf trajectory across PRs:
+    ``{"experiment": ..., "runs": [run, ...]}`` with a UTC date stamped
+    onto each run.  Corrupt or pre-existing non-JSON content is
+    replaced rather than crashing the benchmark.
+    """
+    path = REPO_ROOT / f"BENCH_{experiment}.json"
+    doc: dict = {"experiment": experiment, "runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                doc = loaded
+        except ValueError:
+            pass
+    run = {"date": time.strftime("%Y-%m-%d", time.gmtime()), **payload}
+    doc["runs"].append(run)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @lru_cache(maxsize=1)

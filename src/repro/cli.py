@@ -8,6 +8,8 @@ Commands:
   evolution).
 * ``solvers`` — list the registered topology-solver backends.
 * ``sweep``   — budget sweep (the Fig 4a curve) for a scenario.
+* ``netsim``  — simulate offered load on a designed network with the
+  packet engine or the fluid fast path (the Fig 5 methodology).
 * ``weather`` — yearly weather analysis for a designed network.
 * ``econ``    — the §8 value-per-GB table.
 
@@ -16,6 +18,8 @@ Examples::
     python -m repro design --scenario us --sites 30 --budget 1000 --map
     python -m repro design --scenario us --sites 12 --solver ilp
     python -m repro sweep --scenario us --sites 40 --max-budget 3000
+    python -m repro netsim --scenario us --sites 20 --engine fluid \\
+        --loads 0.3,0.6,0.9
     python -m repro weather --sites 30 --budget 1000 --intervals 120
     python -m repro econ --cost-per-gb 0.81
 """
@@ -86,6 +90,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         prefix = [s for s in steps if s.cumulative_cost <= budget]
         if prefix:
             print(f"{budget:13.0f}  {prefix[-1].mean_stretch:12.4f}  {len(prefix):5d}")
+    return 0
+
+
+def _cmd_netsim(args: argparse.Namespace) -> int:
+    import time
+
+    from .core import solve_heuristic
+    from .netsim import run_udp_experiment
+
+    scenario = _get_scenario(args.scenario, args.sites)
+    topology = solve_heuristic(
+        scenario.design_input(), args.budget, ilp_refinement=False
+    ).topology
+    try:
+        loads = [float(x) for x in args.loads.split(",") if x]
+    except ValueError:
+        raise SystemExit(f"bad --loads value {args.loads!r}")
+    if not loads:
+        raise SystemExit("--loads needs at least one load fraction")
+    if any(not 0 < load <= 1.5 for load in loads):
+        raise SystemExit("--loads fractions must be in (0, 1.5]")
+    print(f"scenario:  {scenario.name} ({scenario.n_sites} sites, "
+          f"budget {args.budget:.0f} towers)")
+    print(f"engine:    {args.engine}")
+    print("load  mean_delay_ms  loss_rate  max_link_util  runtime_s")
+    for load in loads:
+        t0 = time.perf_counter()
+        res = run_udp_experiment(
+            topology,
+            args.gbps,
+            load,
+            duration_s=args.duration,
+            seed=args.seed,
+            engine=args.engine,
+        )
+        runtime = time.perf_counter() - t0
+        print(f"{load:4.2f}  {res.mean_delay_ms:13.3f}  {res.loss_rate:9.4f}  "
+              f"{res.max_link_utilization:13.3f}  {runtime:9.3f}")
     return 0
 
 
@@ -174,6 +216,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-budget", type=float, default=3000.0)
     p.add_argument("--points", type=int, default=10)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "netsim", help="simulate load on a designed network (Fig 5)"
+    )
+    p.add_argument("--scenario", default="us")
+    p.add_argument("--sites", type=int, default=20)
+    p.add_argument("--budget", type=float, default=800.0)
+    p.add_argument("--gbps", type=float, default=100.0,
+                   help="design aggregate the network is provisioned for")
+    p.add_argument(
+        "--engine",
+        default="packet",
+        choices=("packet", "fluid"),
+        help="packet: per-packet simulation; fluid: max-min fast path",
+    )
+    p.add_argument("--loads", default="0.3,0.6,0.9",
+                   help="comma-separated offered-load fractions")
+    p.add_argument("--duration", type=float, default=0.5,
+                   help="simulated seconds per load point (packet engine)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_netsim)
 
     p = sub.add_parser("weather", help="yearly weather analysis (Fig 7)")
     p.add_argument("--sites", type=int, default=30)

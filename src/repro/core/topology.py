@@ -102,11 +102,13 @@ class Topology:
         """Total tower cost of the built MW links."""
         return float(sum(self.design.cost_towers[a, b] for a, b in self.mw_links))
 
-    def effective_distance_matrix(self) -> np.ndarray:
-        """Latency-equivalent distances over fiber + built MW links.
+    def hybrid_weight_matrix(self) -> np.ndarray:
+        """Site-pair edge weights of the hybrid graph.
 
         Fiber between any pair is always available at o_ij; built MW
-        links contribute their m_ij.  Paths may concatenate both.
+        links replace it where their m_ij is shorter.  This is the one
+        place the hybrid fiber/MW model is defined — routing, stretch,
+        and the netsim experiments all derive from it.
         """
         w = self.design.fiber_km.copy()
         for a, b in self.mw_links:
@@ -114,7 +116,16 @@ class Topology:
             if m < w[a, b]:
                 w[a, b] = w[b, a] = m
         np.fill_diagonal(w, 0.0)
-        return shortest_path(w, method="FW", directed=False)
+        return w
+
+    def effective_distance_matrix(self) -> np.ndarray:
+        """Latency-equivalent distances over fiber + built MW links.
+
+        Paths may concatenate fiber and MW segments.
+        """
+        return shortest_path(
+            self.hybrid_weight_matrix(), method="FW", directed=False
+        )
 
     def stretch_matrix(self) -> np.ndarray:
         """Per-pair latency stretch over geodesic (NaN on the diagonal)."""
@@ -133,14 +144,11 @@ class Topology:
         Returns, for each (s, t) with s < t and h_st > 0, the node
         sequence s, ..., t over the hybrid graph.
         """
-        w = self.design.fiber_km.copy()
-        for a, b in self.mw_links:
-            m = self.design.mw_km[a, b]
-            if m < w[a, b]:
-                w[a, b] = w[b, a] = m
-        np.fill_diagonal(w, 0.0)
         _, predecessors = shortest_path(
-            w, method="FW", directed=False, return_predecessors=True
+            self.hybrid_weight_matrix(),
+            method="FW",
+            directed=False,
+            return_predecessors=True,
         )
         n = self.design.n_sites
         routes: dict[tuple[int, int], list[int]] = {}

@@ -1,13 +1,16 @@
 """Event-driven packet-level network simulator (ns-3 substitute)."""
 
-from .engine import Simulator
+from .engine import Event, Simulator
 from .experiments import (
+    ENGINES,
     FailureRerouteResult,
     UdpExperimentResult,
+    hybrid_routing_graph,
     run_failure_reroute_experiment,
     build_edge_specs,
     run_udp_experiment,
 )
+from .fluid import FluidFlow, FluidResult, max_min_rates, solve_fluid
 from .flows import DEFAULT_UDP_PACKET_BYTES, UdpFlow
 from .links import DEFAULT_QUEUE_PACKETS, Link
 from .monitor import FlowMonitor, FlowStats, QueueSampler
@@ -15,6 +18,7 @@ from .network import EdgeSpec, Network
 from .nodes import Node
 from .packets import Packet
 from .routing import (
+    RoutingCache,
     k_shortest_paths,
     mean_route_latency,
     min_max_utilization_routing,
@@ -24,7 +28,15 @@ from .routing import (
 from .tcp import DEFAULT_MSS_BYTES, TcpFlow, TcpStats
 
 __all__ = [
+    "ENGINES",
+    "Event",
+    "FluidFlow",
+    "FluidResult",
+    "RoutingCache",
     "Simulator",
+    "hybrid_routing_graph",
+    "max_min_rates",
+    "solve_fluid",
     "FailureRerouteResult",
     "UdpExperimentResult",
     "run_failure_reroute_experiment",

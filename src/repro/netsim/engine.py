@@ -1,48 +1,136 @@
 """Discrete-event simulation core (ns-3 substitute, paper §5).
 
-A minimal but real event-driven kernel: a time-ordered heap of
-callbacks.  Everything in :mod:`repro.netsim` (links, queues, flows,
+A minimal but real event-driven kernel: a time-ordered heap of slotted
+event entries.  Everything in :mod:`repro.netsim` (links, queues, flows,
 TCP) schedules work through one :class:`Simulator` instance, so event
 ordering, determinism, and virtual time are centralized here.
+
+Events are (time, sequence) ordered; ties break in scheduling order,
+making runs fully deterministic.  Heap entries are plain
+``(time, seq, fn, args)`` tuples, so ordering comparisons stay on
+C-level floats and dispatch is a single call.  Two scheduling APIs sit
+on top:
+
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` — the hot path.
+  No handle is returned; the event will fire.  Links and flows use
+  this for the millions of deliveries and emissions per run.
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — returns
+  an :class:`Event` cancellation token.  Callers that re-arm timers
+  (TCP RTO) cancel the stale event instead of letting a ghost event
+  fire and be filtered by hand.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from typing import Any, Callable
+
+
+class Event:
+    """A cancellable scheduled callback (slotted record + token).
+
+    Attributes:
+        sim: owning simulator.
+        time: absolute virtual time the event fires at.
+        fn / args: the callback and its positional arguments (``None``
+            after cancellation, so cancelled events pinned deep in the
+            heap don't keep packets or flows alive).
+        cancelled: True once :meth:`cancel` has been called.
+    """
+
+    __slots__ = ("sim", "time", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        time: float,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.sim = sim
+        self.time = time
+        self.fn: Callable[..., None] | None = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Revoke the event; the kernel discards it instead of firing.
+
+        Cancelling an event that already fired (or was already
+        cancelled) is a harmless no-op.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            self.fn = None
+            self.args = ()
+            self.sim._n_cancelled += 1
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            # Cancelled entry leaving the heap.
+            self.sim._n_cancelled -= 1
+            return
+        # Mark consumed so a late cancel() stays a no-op.
+        self.cancelled = True
+        fn, args = self.fn, self.args
+        self.fn = None
+        self.args = ()
+        fn(*args)
 
 
 class Simulator:
-    """An event-driven simulator with a virtual clock.
-
-    Events are (time, sequence) ordered; ties break in scheduling order,
-    making runs fully deterministic.
-    """
+    """An event-driven simulator with a virtual clock."""
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = 0
         self._running = False
+        self._n_cancelled = 0
 
     @property
     def now(self) -> float:
         """Current virtual time, seconds."""
         return self._now
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` after ``delay`` seconds of virtual time."""
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` seconds (no handle)."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        heapq.heappush(
+            self._queue, (self._now + delay, self._seq, callback, args)
+        )
         self._seq += 1
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute virtual ``time``."""
+    def post_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute ``time`` (no handle)."""
         if time < self._now:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._queue, (time, self._seq, callback))
+        heapq.heappush(self._queue, (time, self._seq, callback, args))
         self._seq += 1
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Like :meth:`post`, returning a cancellation token."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        time = self._now + delay
+        event = Event(self, time, callback, args)
+        heapq.heappush(self._queue, (time, self._seq, event._fire, ()))
+        self._seq += 1
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Like :meth:`post_at`, returning a cancellation token."""
+        if time < self._now:
+            raise ValueError("cannot schedule into the past")
+        event = Event(self, time, callback, args)
+        heapq.heappush(self._queue, (time, self._seq, event._fire, ()))
+        self._seq += 1
+        return event
 
     def run(self, until: float | None = None) -> None:
         """Process events until the queue drains or ``until`` is reached.
@@ -51,13 +139,15 @@ class Simulator:
         ``until`` at exit even if the queue drained earlier.
         """
         self._running = True
-        while self._queue and self._running:
-            t, _, callback = self._queue[0]
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and self._running:
+            t = queue[0][0]
             if until is not None and t > until:
                 break
-            heapq.heappop(self._queue)
+            _, _, fn, args = pop(queue)
             self._now = t
-            callback()
+            fn(*args)
         if until is not None and self._now < until:
             self._now = until
         self._running = False
@@ -68,4 +158,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        """Live (non-cancelled) events still in the heap."""
+        return len(self._queue) - self._n_cancelled

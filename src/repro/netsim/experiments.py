@@ -18,15 +18,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import networkx as nx
 import numpy as np
 
 from ..core.augmentation import route_link_demands, series_needed
 from ..core.topology import Topology
 from ..geo.coords import SPEED_OF_LIGHT_KM_S
 from .engine import Simulator
-from .flows import UdpFlow
+from .fluid import FluidFlow, solve_fluid
+from .flows import DEFAULT_UDP_PACKET_BYTES, UdpFlow
 from .monitor import FlowMonitor
 from .network import EdgeSpec, Network
+from .routing import RoutingCache
+
+#: Engines selectable through :func:`run_udp_experiment`.
+ENGINES = ("packet", "fluid")
 
 
 @dataclass(frozen=True)
@@ -126,6 +132,34 @@ def build_edge_specs(
     return list(specs.values())
 
 
+def kept_flow_shares(
+    routes: dict[tuple[int, int], list[int]],
+    traffic: np.ndarray,
+    node_names: set[str],
+    min_flow_rate_fraction: float,
+) -> tuple[list[tuple[tuple[int, int], tuple[str, ...], float]], float]:
+    """Commodities worth simulating, as (pair, node path, demand share).
+
+    Drops the long tail of tiny flows (they dominate event count but
+    not load) and any route leaving the simulated node set; the second
+    return value is the kept demand mass, for renormalizing rates so
+    the full offered aggregate is still injected.
+    """
+    total_h = np.triu(traffic, k=1).sum()
+    kept: list[tuple[tuple[int, int], tuple[str, ...], float]] = []
+    kept_mass = 0.0
+    for (s, t), path in routes.items():
+        h = traffic[s, t] / total_h
+        if h < min_flow_rate_fraction:
+            continue
+        node_path = tuple(str(v) for v in path)
+        if any(name not in node_names for name in node_path):
+            continue
+        kept.append(((s, t), node_path, h))
+        kept_mass += h
+    return kept, kept_mass
+
+
 def run_udp_experiment(
     topology: Topology,
     design_aggregate_gbps: float,
@@ -136,6 +170,7 @@ def run_udp_experiment(
     min_flow_rate_fraction: float = 2e-4,
     capacity_mode: str = "k2",
     seed: int = 0,
+    engine: str = "packet",
 ) -> UdpExperimentResult:
     """One Fig 5 / Fig 11 load point.
 
@@ -148,15 +183,20 @@ def run_udp_experiment(
         offered_traffic: traffic matrix actually offered (defaults to
             the design matrix; perturbed/mixed matrices reproduce the
             deviation experiments).
-        duration_s: simulated seconds.
+        duration_s: simulated seconds (packet engine only).
         rate_scale: uniform rate shrink factor (see module docstring).
         min_flow_rate_fraction: demands below this fraction of the
             total are dropped (they contribute negligible load but
             dominate event count).
-        seed: RNG seed for Poisson arrivals.
+        seed: RNG seed for Poisson arrivals (packet engine only).
+        engine: ``"packet"`` simulates every packet; ``"fluid"`` solves
+            the steady-state max-min rate allocation instead — 1-2
+            orders of magnitude faster, no queueing/jitter modelling.
     """
     if not 0 < input_rate_fraction <= 1.5:
         raise ValueError("input rate fraction out of range")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
     design = topology.design
     traffic = offered_traffic if offered_traffic is not None else design.traffic
     specs = build_edge_specs(
@@ -165,35 +205,44 @@ def run_udp_experiment(
         rate_scale=rate_scale,
         capacity_mode=capacity_mode,
     )
+    node_names = {spec.a for spec in specs} | {spec.b for spec in specs}
+    routes = topology.routed_paths()
+    offered_bps = (
+        design_aggregate_gbps * 1e9 * rate_scale * input_rate_fraction
+    )
+    kept, kept_mass = kept_flow_shares(
+        routes, traffic, node_names, min_flow_rate_fraction
+    )
+    if kept_mass <= 0:
+        raise ValueError("no flows above the rate cutoff")
+
+    if engine == "fluid":
+        fluid_flows = [
+            FluidFlow(
+                flow_id=flow_id,
+                path=node_path,
+                offered_bps=offered_bps * h / kept_mass,
+            )
+            for flow_id, (_pair, node_path, h) in enumerate(kept)
+            if offered_bps * h / kept_mass > 0
+        ]
+        result = solve_fluid(
+            specs, fluid_flows, packet_bytes=DEFAULT_UDP_PACKET_BYTES
+        )
+        return UdpExperimentResult(
+            input_rate_fraction=input_rate_fraction,
+            mean_delay_ms=result.mean_latency_s() * 1000.0,
+            loss_rate=result.loss_rate,
+            max_link_utilization=result.max_link_utilization,
+        )
+
     sim = Simulator()
     net = Network.from_edges(sim, specs)
     monitor = FlowMonitor(sim)
     for link in net.links.values():
         monitor.watch_link(link)
-
-    routes = topology.routed_paths()
-    total_h = np.triu(traffic, k=1).sum()
-    offered_bps = (
-        design_aggregate_gbps * 1e9 * rate_scale * input_rate_fraction
-    )
-    # Drop the long tail of tiny flows (they dominate event count but
-    # not load), then renormalize the kept flows so the full offered
-    # aggregate is actually injected.
-    kept: list[tuple[tuple[int, int], tuple[str, ...], float]] = []
-    kept_mass = 0.0
-    for (s, t), path in routes.items():
-        h = traffic[s, t] / total_h
-        if h < min_flow_rate_fraction:
-            continue
-        node_path = tuple(str(v) for v in path)
-        if any(name not in net.nodes for name in node_path):
-            continue
-        kept.append(((s, t), node_path, h))
-        kept_mass += h
-    if kept_mass <= 0:
-        raise ValueError("no flows above the rate cutoff")
     flow_id = 0
-    for (s, t), node_path, h in kept:
+    for _pair, node_path, h in kept:
         rate = offered_bps * h / kept_mass
         if rate <= 0:
             continue
@@ -220,40 +269,26 @@ def run_udp_experiment(
     )
 
 
-def _routes_avoiding_pair(
-    topology: Topology, banned: tuple[int, int]
-) -> dict[tuple[int, int], list[int]]:
-    """Shortest hybrid routes that never traverse the banned site pair."""
-    from scipy.sparse.csgraph import shortest_path as _sp
+def hybrid_routing_graph(topology: Topology) -> nx.Graph:
+    """The site-level hybrid graph the experiments route over.
 
+    Weights come from :meth:`Topology.hybrid_weight_matrix`, so routing
+    here and the design-side routed paths share one hybrid model.
+    """
     design = topology.design
-    w = design.fiber_km.copy()
-    for a, b in topology.mw_links:
-        m = design.mw_km[a, b]
-        if m < w[a, b]:
-            w[a, b] = w[b, a] = m
-    w[banned[0], banned[1]] = w[banned[1], banned[0]] = np.inf
-    np.fill_diagonal(w, 0.0)
-    _, predecessors = _sp(w, method="FW", directed=False, return_predecessors=True)
-    n = design.n_sites
-    out: dict[tuple[int, int], list[int]] = {}
-    for s in range(n):
-        for t in range(s + 1, n):
-            if design.traffic[s, t] <= 0:
-                continue
-            path = [t]
-            node = t
-            ok = True
-            while node != s:
-                node = int(predecessors[s, node])
-                if node < 0:
-                    ok = False
-                    break
-                path.append(node)
-            if ok:
-                path.reverse()
-                out[(s, t)] = path
-    return out
+    w = topology.hybrid_weight_matrix()
+    graph = nx.Graph()
+    graph.add_nodes_from(range(design.n_sites))
+    s_idx, t_idx = np.triu_indices(design.n_sites, k=1)
+    finite = np.isfinite(w[s_idx, t_idx])
+    graph.add_weighted_edges_from(
+        (
+            (int(s), int(t), float(w[s, t]))
+            for s, t in zip(s_idx[finite], t_idx[finite])
+        ),
+        weight="latency",
+    )
+    return graph
 
 
 def run_failure_reroute_experiment(
@@ -275,6 +310,11 @@ def run_failure_reroute_experiment(
     failures and reroute".  This experiment quantifies the difference:
     packets black-hole between ``fail_at_s`` and the reroute, then flow
     loss returns to its pre-failure level on the recomputed paths.
+
+    Rerouting goes through a :class:`RoutingCache` over the hybrid site
+    graph: failing the link invalidates only the commodities routed
+    across it, and replacement paths are computed per affected
+    commodity — not via a fresh all-pairs recompute.
     """
     failed_link = (min(failed_link), max(failed_link))
     if failed_link not in topology.mw_links:
@@ -283,14 +323,39 @@ def run_failure_reroute_experiment(
         raise ValueError("need 0 < fail_at < fail_at + reroute_delay < duration")
     design = topology.design
     specs = build_edge_specs(topology, design_aggregate_gbps, rate_scale=rate_scale)
-    reduced = Topology(
-        design=design, mw_links=topology.mw_links - {failed_link}
+
+    routes = topology.routed_paths()
+    offered_bps = (
+        design_aggregate_gbps * 1e9 * rate_scale * input_rate_fraction
     )
+    node_names = {s.a for s in specs} | {s.b for s in specs}
+    kept, kept_mass = kept_flow_shares(
+        routes, design.traffic, node_names, min_flow_rate_fraction
+    )
+
+    def crosses_failed(path: list[int]) -> bool:
+        a, b = failed_link
+        return any(
+            (min(u, v), max(u, v)) == (a, b) for u, v in zip(path[:-1], path[1:])
+        )
+
+    # Post-failure routes must avoid the failed *site pair* entirely: in
+    # the simulated network the MW link and the (hypothetical) direct
+    # fiber between the same pair share one edge, and that edge is down.
+    cache = RoutingCache(hybrid_routing_graph(topology), weight="latency")
+    cache.fail_link(*failed_link)
+    new_routes: dict[tuple[int, int], list[int]] = {}
+    for (s, t), _node_path, _h in kept:
+        if not crosses_failed(routes[(s, t)]):
+            continue
+        try:
+            new_routes[(s, t)] = cache.shortest_path(s, t)
+        except nx.NetworkXNoPath:
+            continue
     # The post-failure routing may use fiber edges the original routing
     # did not; add specs for any edge its paths traverse.
-    pre_routes = _routes_avoiding_pair(reduced, failed_link)
     seen = {(s.a, s.b) for s in specs} | {(s.b, s.a) for s in specs}
-    for path in pre_routes.values():
+    for path in new_routes.values():
         for u, v in zip(path[:-1], path[1:]):
             key = (str(min(u, v)), str(max(u, v)))
             if key in seen:
@@ -313,36 +378,12 @@ def run_failure_reroute_experiment(
     for link in net.links.values():
         monitor.watch_link(link)
 
-    routes = topology.routed_paths()
-    # Post-failure routes must avoid the failed *site pair* entirely: in
-    # the simulated network the MW link and the (hypothetical) direct
-    # fiber between the same pair share one edge, and that edge is down.
-    new_routes = pre_routes
-    total_h = np.triu(design.traffic, k=1).sum()
-    offered_bps = (
-        design_aggregate_gbps * 1e9 * rate_scale * input_rate_fraction
-    )
-    kept: list[tuple[tuple[int, int], float]] = []
-    kept_mass = 0.0
-    for (s, t), _path in routes.items():
-        h = design.traffic[s, t] / total_h
-        if h >= min_flow_rate_fraction:
-            kept.append(((s, t), h))
-            kept_mass += h
-
-    def crosses_failed(path: list[int]) -> bool:
-        a, b = failed_link
-        return any(
-            (min(u, v), max(u, v)) == (a, b) for u, v in zip(path[:-1], path[1:])
-        )
-
     flows: dict[int, UdpFlow] = {}
     affected: list[tuple[int, tuple[int, int], float]] = []
     flow_id = 0
-    for (s, t), h in kept:
-        path = tuple(str(v) for v in routes[(s, t)])
+    for (s, t), node_path, h in kept:
         flow = UdpFlow(
-            sim, net, monitor, flow_id, path,
+            sim, net, monitor, flow_id, node_path,
             rate_bps=offered_bps * h / kept_mass,
             seed=seed * 7919 + flow_id,
         )

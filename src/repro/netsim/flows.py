@@ -12,6 +12,9 @@ from .packets import Packet
 #: The paper's uniform UDP packet size.
 DEFAULT_UDP_PACKET_BYTES = 500
 
+#: Inter-arrival gaps drawn per RNG round-trip (see ``_next_gap``).
+GAP_CHUNK = 256
+
 
 class UdpFlow:
     """A Poisson (or CBR) packet source along a fixed path.
@@ -23,6 +26,24 @@ class UdpFlow:
         packet_bytes: wire size per packet.
         poisson: exponential inter-arrivals if True, constant otherwise.
     """
+
+    __slots__ = (
+        "sim",
+        "network",
+        "monitor",
+        "flow_id",
+        "path",
+        "rate_bps",
+        "packet_bytes",
+        "poisson",
+        "_rng",
+        "_interval",
+        "_stopped",
+        "_gaps",
+        "_gap_index",
+        "_inject",
+        "_stats",
+    )
 
     def __init__(
         self,
@@ -51,33 +72,45 @@ class UdpFlow:
         self._rng = np.random.default_rng(seed)
         self._interval = packet_bytes * 8 / rate_bps
         self._stopped = False
+        self._gaps: list[float] = []
+        self._gap_index = 0
+        self._inject = network.nodes[self.path[0]].inject
+        self._stats = monitor.stats_for(flow_id)
         network.nodes[self.path[-1]].on_deliver_flow(
             flow_id, monitor.record_delivered
         )
 
     def start(self, at: float = 0.0) -> None:
         """Begin generating packets at virtual time ``at``."""
-        self.sim.schedule_at(at + self._next_gap(), self._emit)
+        self.sim.post_at(at + self._next_gap(), self._emit)
 
     def stop(self) -> None:
         self._stopped = True
 
     def _next_gap(self) -> float:
-        if self.poisson:
-            return float(self._rng.exponential(self._interval))
-        return self._interval
+        if not self.poisson:
+            return self._interval
+        index = self._gap_index
+        gaps = self._gaps
+        if index >= len(gaps):
+            # Chunked draws produce the identical variate stream as
+            # one-at-a-time calls on the same Generator, without the
+            # per-call numpy dispatch cost.
+            gaps = self._gaps = self._rng.exponential(
+                self._interval, GAP_CHUNK
+            ).tolist()
+            index = 0
+        self._gap_index = index + 1
+        return gaps[index]
 
     def _emit(self) -> None:
         if self._stopped:
             return
+        path = self.path
         packet = Packet(
-            flow_id=self.flow_id,
-            src=self.path[0],
-            dst=self.path[-1],
-            size_bytes=self.packet_bytes,
-            path=self.path,
-            created_at=self.sim.now,
+            self.flow_id, path[0], path[-1], self.packet_bytes, path,
+            self.sim.now,
         )
-        self.monitor.record_sent(packet)
-        self.network.nodes[self.path[0]].inject(packet)
-        self.sim.schedule(self._next_gap(), self._emit)
+        self._stats.sent += 1
+        self._inject(packet)
+        self.sim.post(self._next_gap(), self._emit)

@@ -5,11 +5,30 @@ rate out of a FIFO drop-tail queue, then delivers them after the
 propagation delay.  Utilization and queue-occupancy accounting is built
 in (the paper adds a link-utilization module to ns-3's FlowMonitor; here
 it is native).
+
+Serialization is *committed on arrival*: an accepted packet's service
+start is ``max(now, previous finish)``, so its finish time is known the
+moment it is enqueued — the floats accumulate in exactly the same order
+as packet-at-a-time serialization, keeping results bit-identical for
+any workload free of exact event-time ties (Poisson arrivals are
+tie-free almost surely).  The drop-tail decision recovers the exact
+queue occupancy an arrival would have seen by binary-searching the
+committed finish times (packets whose finish lies in the future, minus
+the one in service, are the waiting queue).  When an arrival lands at
+*exactly* a finish time — possible with rationally related CBR rates —
+this kernel uses a fixed finish-before-arrival convention (the packet
+that completes at ``now`` has left the queue); the classic kernel's
+behavior at such ties depended on event scheduling order and was not
+itself well-defined across workload changes.  Deliveries ride a lazily
+armed per-link chain: at most one delivery event per link lives in the
+kernel heap at a time, and each delivery re-arms the next — one kernel
+event per packet instead of the classic finish-plus-delivery pair, and
+a heap whose size is independent of queue depth.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_right
 from typing import TYPE_CHECKING, Callable
 
 from .engine import Simulator
@@ -20,6 +39,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Default queue capacity, packets.
 DEFAULT_QUEUE_PACKETS = 100
+
+#: Delivered-prefix length that triggers compaction of the committed lists.
+_PRUNE_THRESHOLD = 512
 
 
 class Link:
@@ -32,6 +54,25 @@ class Link:
         queue_capacity: maximum queued packets (excluding the one in
             transmission); arrivals beyond it are dropped.
     """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "rate_bps",
+        "delay_s",
+        "queue_capacity",
+        "peer",
+        "_finish",
+        "_packets",
+        "_delivered",
+        "_armed",
+        "tx_packets",
+        "tx_bits",
+        "dropped_packets",
+        "busy_time_s",
+        "_up",
+        "_on_drop",
+    )
 
     def __init__(
         self,
@@ -53,8 +94,14 @@ class Link:
         self.delay_s = delay_s
         self.queue_capacity = queue_capacity
         self.peer: "Node | None" = None
-        self._queue: deque[Packet] = deque()
-        self._busy = False
+        # Committed transmissions in service order: absolute finish
+        # times (monotonic) and the packets.  ``_delivered`` counts the
+        # handed-over prefix; ``_armed`` is True while a delivery event
+        # for ``_packets[_delivered]`` sits in the kernel heap.
+        self._finish: list[float] = []
+        self._packets: list[Packet] = []
+        self._delivered = 0
+        self._armed = False
         self.tx_packets = 0
         self.tx_bits = 0
         self.dropped_packets = 0
@@ -73,7 +120,12 @@ class Link:
     @property
     def queue_length(self) -> int:
         """Packets currently waiting (excluding the one in service)."""
-        return len(self._queue)
+        finishes = self._finish
+        now = self.sim.now
+        if not finishes or finishes[-1] <= now:
+            return 0
+        waiting = len(finishes) - bisect_right(finishes, now) - 1
+        return waiting if waiting > 0 else 0
 
     @property
     def is_up(self) -> bool:
@@ -81,13 +133,35 @@ class Link:
 
     def set_down(self) -> None:
         """Fail the link: queued and future packets are dropped until
-        :meth:`set_up` (models a weather outage, §6.1)."""
+        :meth:`set_up` (models a weather outage, §6.1).
+
+        The packet in service completes (its bits are on the air), but
+        committed packets still waiting are dropped and their
+        transmission accounting rolled back — they never entered
+        service.  The armed delivery always belongs to a packet at or
+        before the one in service, so no kernel event needs cancelling.
+        """
         self._up = False
-        for packet in self._queue:
+        finishes = self._finish
+        now = self.sim.now
+        if not finishes or finishes[-1] <= now:
+            return
+        # Keep the served prefix plus the packet in service.
+        keep = bisect_right(finishes, now) + 1
+        if keep >= len(finishes):
+            return
+        on_drop = self._on_drop
+        rate = self.rate_bps
+        for packet in self._packets[keep:]:
+            bits = packet.size_bits
+            self.tx_packets -= 1
+            self.tx_bits -= bits
+            self.busy_time_s -= bits / rate
             self.dropped_packets += 1
-            if self._on_drop is not None:
-                self._on_drop(packet)
-        self._queue.clear()
+            if on_drop is not None:
+                on_drop(packet)
+        del finishes[keep:]
+        del self._packets[keep:]
 
     def set_up(self) -> None:
         """Restore a failed link."""
@@ -95,42 +169,76 @@ class Link:
 
     def send(self, packet: Packet) -> None:
         """Enqueue a packet for transmission, dropping if full or down."""
-        if self.peer is None:
+        peer = self.peer
+        if peer is None:
             raise RuntimeError(f"link {self.name} has no peer attached")
         if not self._up:
             self.dropped_packets += 1
             if self._on_drop is not None:
                 self._on_drop(packet)
             return
-        if self._busy:
-            if self.queue_capacity and len(self._queue) >= self.queue_capacity:
+        sim = self.sim
+        now = sim.now
+        finishes = self._finish
+        delivered = self._delivered
+        if delivered >= _PRUNE_THRESHOLD:
+            del finishes[:delivered]
+            del self._packets[:delivered]
+            self._delivered = delivered = 0
+        if finishes and finishes[-1] > now:
+            # Busy: everything behind the packet in service occupies a
+            # queue slot.
+            capacity = self.queue_capacity
+            if (
+                capacity
+                and len(finishes) - bisect_right(finishes, now) - 1 >= capacity
+            ):
                 self.dropped_packets += 1
                 if self._on_drop is not None:
                     self._on_drop(packet)
                 return
-            self._queue.append(packet)
+            start = finishes[-1]
         else:
-            self._transmit(packet)
-
-    def _transmit(self, packet: Packet) -> None:
-        self._busy = True
-        tx_time = packet.size_bits / self.rate_bps
+            start = now
+        bits = packet.size_bits
+        tx_time = bits / self.rate_bps
+        finish = start + tx_time
         self.busy_time_s += tx_time
         self.tx_packets += 1
-        self.tx_bits += packet.size_bits
-        self.sim.schedule(tx_time, lambda: self._finish(packet))
+        self.tx_bits += bits
+        finishes.append(finish)
+        self._packets.append(packet)
+        if not self._armed:
+            self._armed = True
+            sim.post_at(finish + self.delay_s, self._deliver)
 
-    def _finish(self, packet: Packet) -> None:
-        # Propagation, then delivery at the peer.
-        peer = self.peer
-        self.sim.schedule(self.delay_s, lambda: peer.receive(packet))
-        if self._queue:
-            self._transmit(self._queue.popleft())
+    def _deliver(self) -> None:
+        """Hand the next packet to the peer and re-arm the chain."""
+        index = self._delivered
+        packet = self._packets[index]
+        self._delivered = index + 1
+        if index + 1 < len(self._finish):
+            self.sim.post_at(
+                self._finish[index + 1] + self.delay_s, self._deliver
+            )
         else:
-            self._busy = False
+            self._armed = False
+        self.peer.receive(packet)
 
     def utilization(self, elapsed_s: float) -> float:
-        """Fraction of ``elapsed_s`` spent transmitting."""
+        """Fraction of ``elapsed_s`` spent transmitting.
+
+        ``busy_time_s`` is charged at commit time, so mid-run the
+        committed-but-waiting tail (packets that have not entered
+        service yet) is excluded here to preserve the classic
+        charge-at-service-start semantics.
+        """
         if elapsed_s <= 0:
             raise ValueError("elapsed time must be positive")
-        return min(self.busy_time_s / elapsed_s, 1.0)
+        busy = self.busy_time_s
+        finishes = self._finish
+        now = self.sim.now
+        if finishes and finishes[-1] > now:
+            in_service = bisect_right(finishes, now)
+            busy -= finishes[-1] - finishes[in_service]
+        return min(busy / elapsed_s, 1.0)

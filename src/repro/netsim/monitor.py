@@ -17,13 +17,14 @@ from .links import Link
 from .packets import Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowStats:
     """Counters for one flow."""
 
     sent: int = 0
     received: int = 0
     dropped: int = 0
+    bytes_received: int = 0
     delays: list[float] = field(default_factory=list)
 
     @property
@@ -34,6 +35,12 @@ class FlowStats:
     def mean_delay_s(self) -> float:
         return float(np.mean(self.delays)) if self.delays else 0.0
 
+    def throughput_bps(self, elapsed_s: float) -> float:
+        """Delivered goodput over ``elapsed_s`` seconds."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self.bytes_received * 8 / elapsed_s
+
 
 class FlowMonitor:
     """Network-wide delay/loss bookkeeping."""
@@ -42,8 +49,21 @@ class FlowMonitor:
         self.sim = sim
         self.flows: dict[int, FlowStats] = {}
 
-    def _stats(self, flow_id: int) -> FlowStats:
-        return self.flows.setdefault(flow_id, FlowStats())
+    def stats_for(self, flow_id: int) -> FlowStats:
+        """The (mutable) stats record for one flow, created on demand.
+
+        Hot-path sources (UDP flows at millions of packets per run) may
+        hold this record and bump its counters directly instead of
+        calling :meth:`record_sent` per packet; the record is the same
+        object either way.
+        """
+        stats = self.flows.get(flow_id)
+        if stats is None:
+            stats = self.flows[flow_id] = FlowStats()
+        return stats
+
+    # Backward-compatible internal alias.
+    _stats = stats_for
 
     def record_sent(self, packet: Packet) -> None:
         self._stats(packet.flow_id).sent += 1
@@ -51,6 +71,7 @@ class FlowMonitor:
     def record_delivered(self, packet: Packet) -> None:
         stats = self._stats(packet.flow_id)
         stats.received += 1
+        stats.bytes_received += packet.size_bytes
         stats.delays.append(self.sim.now - packet.created_at)
 
     def record_dropped(self, packet: Packet) -> None:
@@ -81,6 +102,14 @@ class FlowMonitor:
         all_delays = [d for s in self.flows.values() for d in s.delays]
         return float(np.mean(all_delays)) if all_delays else 0.0
 
+    def mean_flow_throughput_bps(self, elapsed_s: float) -> float:
+        """Mean per-flow delivered goodput (the fluid-parity metric)."""
+        if not self.flows:
+            return 0.0
+        return float(
+            np.mean([s.throughput_bps(elapsed_s) for s in self.flows.values()])
+        )
+
     def delay_percentile_s(self, q: float) -> float:
         all_delays = [d for s in self.flows.values() for d in s.delays]
         return float(np.percentile(all_delays, q)) if all_delays else 0.0
@@ -101,11 +130,11 @@ class QueueSampler:
     def start(self) -> None:
         if not self._armed:
             self._armed = True
-            self.sim.schedule(0.0, self._tick)
+            self.sim.post(0.0, self._tick)
 
     def _tick(self) -> None:
         self.samples.append(self.link.queue_length)
-        self.sim.schedule(self.interval_s, self._tick)
+        self.sim.post(self.interval_s, self._tick)
 
     def percentile(self, q: float) -> float:
         if not self.samples:

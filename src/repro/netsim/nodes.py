@@ -16,6 +16,15 @@ class Node:
     to the registered delivery handler (flow monitor, TCP endpoint...).
     """
 
+    __slots__ = (
+        "name",
+        "_links",
+        "_handlers",
+        "_flow_handlers",
+        "forwarded",
+        "delivered",
+    )
+
     def __init__(self, name: str) -> None:
         if not name:
             raise ValueError("node name must be non-empty")
@@ -51,27 +60,36 @@ class Node:
 
     def receive(self, packet: Packet) -> None:
         """Accept a packet from an incoming link."""
-        if packet.path[packet.hop_index + 1] != self.name:
+        path = packet.path
+        index = packet.hop_index + 1
+        if path[index] != self.name:
             raise RuntimeError(
                 f"mis-routed packet at {self.name}: path {packet.path}"
             )
-        packet.hop_index += 1
-        if packet.hop_index == len(packet.path) - 1:
+        packet.hop_index = index
+        if index == len(path) - 1:
             self.delivered += 1
             for handler in self._handlers:
                 handler(packet)
-            for handler in self._flow_handlers.get(packet.flow_id, ()):
-                handler(packet)
+            flow_handlers = self._flow_handlers.get(packet.flow_id)
+            if flow_handlers is not None:
+                for handler in flow_handlers:
+                    handler(packet)
         else:
             self.forward(packet)
 
     def forward(self, packet: Packet) -> None:
         """Send a transiting (or originating) packet to its next hop."""
-        next_hop = packet.next_hop()
-        if next_hop is None:
+        path = packet.path
+        index = packet.hop_index + 1
+        if index >= len(path):
             raise RuntimeError("packet already at destination")
         self.forwarded += 1
-        self.link_to(next_hop).send(packet)
+        try:
+            link = self._links[path[index]]
+        except KeyError:
+            raise KeyError(f"{self.name} has no link to {path[index]}") from None
+        link.send(packet)
 
     def inject(self, packet: Packet) -> None:
         """Originate a packet at this node (hop_index must be 0)."""

@@ -8,9 +8,12 @@ from dataclasses import dataclass, field
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated packet.
+
+    Slotted: millions of instances are created per run, so attribute
+    storage and access go through ``__slots__`` rather than a dict.
 
     Attributes:
         flow_id: owning flow identifier.

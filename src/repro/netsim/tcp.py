@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .engine import Simulator
+from .engine import Event, Simulator
 from .monitor import FlowMonitor
 from .network import Network
 from .packets import Packet
@@ -89,8 +89,9 @@ class TcpFlow:
         self._last_rtt: float | None = None
         self._done = False
         self._pacing_timer_armed = False
-        self._rto_deadline: float | None = None
-        self._retransmit_seq: int | None = None
+        self._rto_event: Event | None = None
+        self._rcv_seen: set[int] = set()
+        self._rcv_next = 0
 
         # Receive ACKs at the source; generate ACKs at the destination.
         # Both are keyed by flow id so shared endpoints stay O(1).
@@ -104,7 +105,7 @@ class TcpFlow:
             self._try_send()
             self._arm_rto()
 
-        self.sim.schedule_at(at, _go)
+        self.sim.post_at(at, _go)
 
     @property
     def inflight(self) -> int:
@@ -144,7 +145,7 @@ class TcpFlow:
             candidates = [r for r in (self.srtt, self._last_rtt) if r is not None]
             rtt = max(candidates) if candidates else 0.02
             interval = rtt / max(self.effective_window, 1.0)
-            self.sim.schedule(interval, self._pace_tick)
+            self.sim.post(interval, self._pace_tick)
         else:
             self._pacing_timer_armed = False
 
@@ -172,9 +173,6 @@ class TcpFlow:
             return
         self.monitor.record_delivered(packet)
         # Cumulative ACK semantics via receiver state.
-        if not hasattr(self, "_rcv_seen"):
-            self._rcv_seen: set[int] = set()
-            self._rcv_next = 0
         self._rcv_seen.add(packet.seq)
         while self._rcv_next in self._rcv_seen:
             self._rcv_next += 1
@@ -228,15 +226,17 @@ class TcpFlow:
 
     # -- timers ----------------------------------------------------------
     def _arm_rto(self) -> None:
+        # Re-arming cancels the outstanding timer: exactly one live RTO
+        # event exists per flow, instead of one ghost event per ACK.
+        if self._rto_event is not None:
+            self._rto_event.cancel()
         rto = max(self.min_rto_s, 4.0 * (self.srtt or 0.05))
-        self._rto_deadline = self.sim.now + rto
-        self.sim.schedule(rto, self._check_rto)
+        self._rto_event = self.sim.schedule(rto, self._fire_rto)
 
-    def _check_rto(self) -> None:
-        if self._done or self._rto_deadline is None:
+    def _fire_rto(self) -> None:
+        self._rto_event = None
+        if self._done:
             return
-        if self.sim.now + 1e-12 < self._rto_deadline:
-            return  # superseded by a newer deadline
         if self.inflight > 0 or self.next_seq < self.n_packets:
             self.stats.timeouts += 1
             self.ssthresh = max(self.cwnd / 2.0, 2.0)
@@ -246,5 +246,7 @@ class TcpFlow:
 
     def _complete(self) -> None:
         self._done = True
-        self._rto_deadline = None
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
         self.stats.completion_time = self.sim.now
