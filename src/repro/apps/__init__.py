@@ -4,6 +4,7 @@ from .econ import (
     ValueEstimate,
     all_estimates,
     ecommerce_value,
+    econ_records,
     gaming_value,
     value_summary,
     web_search_value,
@@ -15,6 +16,7 @@ from .integration import (
     TrafficClass,
     breakeven_capacity_gbps,
     plan_fast_path,
+    plan_records,
 )
 from .gaming import (
     DIRECTIONS,
@@ -42,9 +44,11 @@ __all__ = [
     "TrafficClass",
     "breakeven_capacity_gbps",
     "plan_fast_path",
+    "plan_records",
     "ValueEstimate",
     "all_estimates",
     "ecommerce_value",
+    "econ_records",
     "gaming_value",
     "value_summary",
     "web_search_value",

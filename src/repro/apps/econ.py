@@ -112,6 +112,21 @@ def all_estimates() -> list[ValueEstimate]:
     return [web_search_value(), ecommerce_value(), gaming_value()]
 
 
+def econ_records(cost_per_gb: float = 0.81) -> list[dict]:
+    """The §8 table as tidy records (the econ stage): one row per scenario."""
+    return [
+        {
+            "stage": "econ",
+            "scenario": est.label,
+            "cost_per_gb": float(cost_per_gb),
+            "low_usd_per_gb": float(est.low_usd_per_gb),
+            "high_usd_per_gb": float(est.high_usd_per_gb),
+            "justifies": bool(est.exceeds_cost(cost_per_gb)),
+        }
+        for est in all_estimates()
+    ]
+
+
 def value_summary(cost_per_gb: float = 0.81) -> dict[str, dict[str, float | bool]]:
     """§8's bottom line: every scenario's value exceeds the cost."""
     summary = {}

@@ -130,6 +130,34 @@ def plan_fast_path(
     )
 
 
+def plan_records(plan: FastPathPlan) -> list[dict]:
+    """A plan as tidy records (the apps stage): one row per class.
+
+    A final ``total`` row carries the plan-wide admitted volume and
+    yearly value.
+    """
+    rows = [
+        {
+            "stage": "apps",
+            "class": alloc.traffic_class.name,
+            "admitted_gbps": float(alloc.admitted_gbps),
+            "fraction_admitted": float(alloc.fraction_admitted),
+            "value_per_gb": float(alloc.traffic_class.value_per_gb),
+        }
+        for alloc in plan.allocations
+    ]
+    rows.append(
+        {
+            "stage": "apps",
+            "class": "total",
+            "admitted_gbps": float(plan.admitted_gbps()),
+            "capacity_gbps": float(plan.capacity_gbps),
+            "value_per_year_usd": float(plan.value_per_year_usd),
+        }
+    )
+    return rows
+
+
 def breakeven_capacity_gbps(
     network_cost_usd_per_gb: float,
     classes: tuple[TrafficClass, ...] = DEFAULT_CLASSES,

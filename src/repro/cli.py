@@ -1,5 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every command is a thin constructor over the experiment orchestration
+layer (:mod:`repro.exp`): it builds a seed-pinned
+:class:`~repro.exp.ExperimentSpec`, runs it through the stage DAG
+``substrate → design → {netsim, weather, apps, econ}``, and prints the
+resulting records.  Expensive stages (substrate build, topology solve)
+are memoized in a content-addressed artifact store shared across
+processes and sessions — rerunning a command, or sweeping around it,
+reuses everything whose spec slice did not change.
+
 Commands:
 
 * ``design``  — design a cISP for a scenario and print the summary
@@ -7,64 +16,116 @@ Commands:
   topology backend (heuristic, ilp, lp_rounding, exhaustive,
   evolution).
 * ``solvers`` — list the registered topology-solver backends.
-* ``sweep``   — budget sweep (the Fig 4a curve) for a scenario.
+* ``sweep``   — budget sweep (the Fig 4a curve); ``--jobs N`` fans the
+  points out over worker processes.
 * ``netsim``  — simulate offered load on a designed network with the
   packet engine or the fluid fast path (the Fig 5 methodology).
 * ``weather`` — yearly weather analysis for a designed network.
 * ``econ``    — the §8 value-per-GB table.
+* ``run``     — execute a spec file (single experiment or multi-axis
+  sweep) and print/emit the tidy records table.
 
 Examples::
 
     python -m repro design --scenario us --sites 30 --budget 1000 --map
     python -m repro design --scenario us --sites 12 --solver ilp
-    python -m repro sweep --scenario us --sites 40 --max-budget 3000
+    python -m repro sweep --scenario us --sites 40 --max-budget 3000 --jobs 4
     python -m repro netsim --scenario us --sites 20 --engine fluid \\
         --loads 0.3,0.6,0.9
     python -m repro weather --sites 30 --budget 1000 --intervals 120
     python -m repro econ --cost-per-gb 0.81
+    python -m repro run examples/specs/us_budget_load_sweep.json --jobs 4
+
+Caching flags (on every experiment command): ``--cache-dir PATH``
+points the artifact store somewhere explicit, ``--no-cache`` disables
+it; the default location is ``$REPRO_ARTIFACT_DIR`` or
+``~/.cache/repro/artifacts``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-import numpy as np
+#: Per-command default site counts for the sized scenarios (us/city_dc),
+#: preserving the pre-orchestration CLI defaults.
+_DEFAULT_SITES = {"design": 30, "sweep": 30, "netsim": 20, "weather": 30}
 
 
-def _get_scenario(name: str, sites: int):
-    from .scenarios import europe_scenario, interdc_scenario, us_scenario
+def _resolve_sites(args: argparse.Namespace, command: str) -> int | None:
+    """CLI default sites for sized scenarios; None for fixed-site ones.
 
-    if name == "us":
-        return us_scenario(n_sites=sites)
-    if name == "europe":
-        return europe_scenario()
-    if name == "interdc":
-        return interdc_scenario()
-    raise SystemExit(f"unknown scenario {name!r} (us, europe, interdc)")
+    An explicit ``--sites`` for a fixed-site scenario is passed through
+    so the spec layer rejects it loudly (never silently ignored).
+    """
+    if args.sites is not None:
+        return args.sites
+    if args.scenario in ("us", "city_dc"):
+        return _DEFAULT_SITES[command]
+    return None
+
+
+def _store_from_args(args: argparse.Namespace):
+    from .exp import ArtifactStore, NullStore
+
+    if getattr(args, "no_cache", False):
+        return NullStore()
+    if getattr(args, "cache_dir", None):
+        return ArtifactStore(args.cache_dir)
+    return ArtifactStore()
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact-store directory (default: $REPRO_ARTIFACT_DIR or "
+        "~/.cache/repro/artifacts)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compute every stage fresh; cache nothing",
+    )
+
+
+def _scenario_spec(args: argparse.Namespace, command: str):
+    from .exp import ScenarioSpec
+
+    return ScenarioSpec(
+        name=args.scenario,
+        sites=_resolve_sites(args, command),
+        max_range_km=getattr(args, "max_range_km", 100.0),
+        usable_height_fraction=getattr(args, "usable_height", 1.0),
+        seed=args.seed,
+    )
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
-    from .core import design_network
+    from .exp import DesignSpec, ExperimentSpec, run_experiment
     from .viz import render_topology
 
-    scenario = _get_scenario(args.scenario, args.sites)
-    solver_kwargs = {}
+    solver_opts = {}
     if args.solver == "heuristic":
         # The CLI favors speed; pass --refine to run the restricted ILP.
-        solver_kwargs["ilp_refinement"] = args.refine
-    result = design_network(
-        scenario.design_input(),
-        budget_towers=args.budget,
-        aggregate_gbps=args.gbps,
-        catalog=scenario.catalog,
-        registry=scenario.registry,
-        solver=args.solver,
-        **solver_kwargs,
+        solver_opts["ilp_refinement"] = args.refine
+    spec = ExperimentSpec(
+        scenario=_scenario_spec(args, "design"),
+        design=DesignSpec(
+            budget_towers=args.budget,
+            solver=args.solver,
+            aggregate_gbps=args.gbps,
+            solver_opts=solver_opts,
+        ),
     )
+    run = run_experiment(spec, store=_store_from_args(args))
+    scenario = run.artifacts["substrate"]
+    result = run.artifacts["design"]
     print(f"scenario:        {scenario.name} ({scenario.n_sites} sites)")
     print(f"solver:          {result.backend} "
-          f"({result.solve_outcome.runtime_s:.2f}s)")
+          f"({result.solve_outcome.runtime_s:.2f}s"
+          f"{', cached' if run.stage_status['design'] == 'cached' else ''})")
     print(f"budget:          {args.budget:.0f} towers "
           f"({result.towers_used:.0f} used)")
     print(f"MW links:        {result.mw_link_count}")
@@ -80,91 +141,164 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .core import greedy_sequence
+    import numpy as np
 
-    scenario = _get_scenario(args.scenario, args.sites)
-    steps = greedy_sequence(scenario.design_input(), args.max_budget)
-    print("budget_towers  mean_stretch  links")
+    from .exp import DesignSpec, ExperimentSpec, SweepRunner
+
     n_points = max(args.points, 2)
-    for budget in np.linspace(0, args.max_budget, n_points):
-        prefix = [s for s in steps if s.cumulative_cost <= budget]
-        if prefix:
-            print(f"{budget:13.0f}  {prefix[-1].mean_stretch:12.4f}  {len(prefix):5d}")
+    budgets = [float(b) for b in np.linspace(0.0, args.max_budget, n_points)]
+    spec = ExperimentSpec(
+        scenario=_scenario_spec(args, "sweep"),
+        design=DesignSpec(budget_towers=budgets[0], solver=args.solver),
+    )
+    runner = SweepRunner(
+        spec,
+        axes={"design.budget_towers": budgets},
+        store=_store_from_args(args),
+        jobs=args.jobs,
+    )
+    result = runner.run()
+    print("budget_towers  mean_stretch  links")
+    for row in result.records:
+        if row["stage"] != "design":
+            continue
+        print(f"{row['budget_towers']:13.0f}  {row['mean_stretch']:12.4f}  "
+              f"{row['mw_links']:5d}")
     return 0
 
 
 def _cmd_netsim(args: argparse.Namespace) -> int:
-    import time
+    from .exp import DesignSpec, ExperimentSpec, NetsimSpec, run_experiment
 
-    from .core import solve_heuristic
-    from .netsim import run_udp_experiment
-
-    scenario = _get_scenario(args.scenario, args.sites)
-    topology = solve_heuristic(
-        scenario.design_input(), args.budget, ilp_refinement=False
-    ).topology
     try:
-        loads = [float(x) for x in args.loads.split(",") if x]
+        loads = tuple(float(x) for x in args.loads.split(",") if x)
     except ValueError:
         raise SystemExit(f"bad --loads value {args.loads!r}")
-    if not loads:
-        raise SystemExit("--loads needs at least one load fraction")
-    if any(not 0 < load <= 1.5 for load in loads):
-        raise SystemExit("--loads fractions must be in (0, 1.5]")
+    # Range/emptiness rules live in NetsimSpec; its ValueError surfaces
+    # as a clean exit via main().
+    spec = ExperimentSpec(
+        scenario=_scenario_spec(args, "netsim"),
+        design=DesignSpec(
+            budget_towers=args.budget,
+            solver="heuristic",
+            aggregate_gbps=args.gbps,
+            solver_opts={"ilp_refinement": False},
+        ),
+        netsim=NetsimSpec(
+            loads=loads,
+            engine=args.engine,
+            duration_s=args.duration,
+            seed=args.flow_seed,
+        ),
+    )
+    run = run_experiment(spec, store=_store_from_args(args))
+    scenario = run.artifacts["substrate"]
     print(f"scenario:  {scenario.name} ({scenario.n_sites} sites, "
           f"budget {args.budget:.0f} towers)")
     print(f"engine:    {args.engine}")
-    print("load  mean_delay_ms  loss_rate  max_link_util  runtime_s")
-    for load in loads:
-        t0 = time.perf_counter()
-        res = run_udp_experiment(
-            topology,
-            args.gbps,
-            load,
-            duration_s=args.duration,
-            seed=args.seed,
-            engine=args.engine,
-        )
-        runtime = time.perf_counter() - t0
-        print(f"{load:4.2f}  {res.mean_delay_ms:13.3f}  {res.loss_rate:9.4f}  "
-              f"{res.max_link_utilization:13.3f}  {runtime:9.3f}")
+    print("load  mean_delay_ms  loss_rate  max_link_util")
+    for row in run.records:
+        if row["stage"] != "netsim":
+            continue
+        print(f"{row['load']:4.2f}  {row['mean_delay_ms']:13.3f}  "
+              f"{row['loss_rate']:9.4f}  {row['max_link_utilization']:13.3f}")
     return 0
 
 
 def _cmd_weather(args: argparse.Namespace) -> int:
-    from .core import solve_heuristic
-    from .scenarios import us_scenario
-    from .weather import yearly_stretch_analysis
+    from .exp import DesignSpec, ExperimentSpec, WeatherSpec, run_experiment
 
-    scenario = us_scenario(n_sites=args.sites)
-    topology = solve_heuristic(
-        scenario.design_input(), args.budget, ilp_refinement=False
-    ).topology
-    result = yearly_stretch_analysis(
-        topology, scenario.catalog, scenario.registry, n_intervals=args.intervals
+    spec = ExperimentSpec(
+        scenario=_scenario_spec(args, "weather"),
+        design=DesignSpec(
+            budget_towers=args.budget,
+            solver="heuristic",
+            solver_opts={"ilp_refinement": False},
+        ),
+        weather=WeatherSpec(n_intervals=args.intervals, graded=args.graded),
     )
+    run = run_experiment(spec, store=_store_from_args(args))
     print("series  median  p95")
-    for label, values in (
-        ("best", result.best),
-        ("p99", result.p99),
-        ("worst", result.worst),
-        ("fiber", result.fiber),
-    ):
-        print(f"{label:6s}  {np.median(values):.3f}  "
-              f"{np.percentile(values, 95):.3f}")
+    for row in run.records:
+        if row["stage"] != "weather":
+            continue
+        print(f"{row['series']:6s}  {row['median']:.3f}  {row['p95']:.3f}")
     return 0
 
 
 def _cmd_econ(args: argparse.Namespace) -> int:
-    from .apps import all_estimates
+    from .exp import EconSpec, ExperimentSpec, run_experiment
 
+    # An explicit cost makes the econ stage self-contained: no design
+    # solve happens (and none is cached) just to print the table.
+    spec = ExperimentSpec(econ=EconSpec(cost_per_gb=args.cost_per_gb))
+    run = run_experiment(spec, store=_store_from_args(args), stages=("econ",))
     print(f"network cost: ${args.cost_per_gb:.2f}/GB")
     print("scenario      low_$per_GB  high_$per_GB  justifies")
-    for est in all_estimates():
-        print(
-            f"{est.label:12s}  {est.low_usd_per_gb:11.2f}  "
-            f"{est.high_usd_per_gb:12.2f}  {est.exceeds_cost(args.cost_per_gb)}"
+    for row in run.records:
+        if row["stage"] != "econ":
+            continue
+        print(f"{row['scenario']:12s}  {row['low_usd_per_gb']:11.2f}  "
+              f"{row['high_usd_per_gb']:12.2f}  {row['justifies']}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .exp import ExperimentSpec, SweepRunner, run_experiment
+    from .viz import render_records_table
+
+    try:
+        with open(args.spec) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read spec file: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"spec file is not valid JSON: {exc}")
+    if not isinstance(doc, dict):
+        raise SystemExit("spec file must hold a JSON object")
+    axes = doc.pop("axes", None)
+    spec_doc = doc.pop("spec", None)
+    if spec_doc is None:
+        spec_doc = doc  # bare ExperimentSpec document
+    elif doc:
+        raise SystemExit(
+            f"unknown top-level key(s) next to 'spec': {', '.join(sorted(doc))}"
         )
+    spec = ExperimentSpec.from_dict(spec_doc)
+    store = _store_from_args(args)
+
+    if axes:
+        if not isinstance(axes, dict):
+            raise SystemExit("'axes' must map spec paths to value lists")
+        for path, values in axes.items():
+            if not isinstance(values, list) or not values:
+                raise SystemExit(
+                    f"axis {path!r} must be a non-empty JSON list of values "
+                    f"(got {values!r})"
+                )
+        axes = {
+            path: [tuple(v) if isinstance(v, list) else v for v in values]
+            for path, values in axes.items()
+        }
+        runner = SweepRunner(spec, axes=axes, store=store, jobs=args.jobs)
+        result = runner.run()
+        records = result.records
+        counts = result.stage_counts
+    else:
+        run = run_experiment(spec, store=store)
+        records = run.records
+        counts = {
+            name: {status: 1} for name, status in run.stage_status.items()
+        }
+    if args.json:
+        json.dump(records, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(render_records_table(records))
+        executed = sum(c.get("computed", 0) for c in counts.values())
+        cached = sum(c.get("cached", 0) for c in counts.values())
+        print(f"\nstages: {executed} computed, {cached} cached "
+              f"({len(records)} record rows)")
     return 0
 
 
@@ -188,9 +322,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from .exp.spec import SCENARIO_NAMES
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scenario", default="us", choices=SCENARIO_NAMES)
+        p.add_argument(
+            "--sites",
+            type=int,
+            default=None,
+            help="site count (us/city_dc only; errors loudly for the "
+            "fixed-site europe/interdc scenarios)",
+        )
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="tower-synthesis seed (default: the scenario's pinned seed)",
+        )
+
     p = sub.add_parser("design", help="design a cISP network")
-    p.add_argument("--scenario", default="us")
-    p.add_argument("--sites", type=int, default=30)
+    add_scenario_args(p)
     p.add_argument("--budget", type=float, default=1000.0)
     p.add_argument("--gbps", type=float, default=100.0)
     p.add_argument(
@@ -205,55 +356,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="heuristic only: run the restricted final ILP (slower)",
     )
     p.add_argument("--map", action="store_true", help="print the ASCII map")
+    _add_cache_args(p)
     p.set_defaults(func=_cmd_design)
 
     p = sub.add_parser("solvers", help="list topology-solver backends")
     p.set_defaults(func=_cmd_solvers)
 
     p = sub.add_parser("sweep", help="budget sweep (Fig 4a)")
-    p.add_argument("--scenario", default="us")
-    p.add_argument("--sites", type=int, default=30)
+    add_scenario_args(p)
     p.add_argument("--max-budget", type=float, default=3000.0)
     p.add_argument("--points", type=int, default=10)
+    p.add_argument(
+        "--solver",
+        default="evolution",
+        choices=solver_names(),
+        help="backend per budget point (evolution reproduces the "
+        "incremental build-out of Fig 4a)",
+    )
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep points")
+    _add_cache_args(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "netsim", help="simulate load on a designed network (Fig 5)"
     )
-    p.add_argument("--scenario", default="us")
-    p.add_argument("--sites", type=int, default=20)
+    add_scenario_args(p)
     p.add_argument("--budget", type=float, default=800.0)
     p.add_argument("--gbps", type=float, default=100.0,
                    help="design aggregate the network is provisioned for")
+    from .exp.spec import ENGINES
+
     p.add_argument(
         "--engine",
         default="packet",
-        choices=("packet", "fluid"),
+        choices=ENGINES,
         help="packet: per-packet simulation; fluid: max-min fast path",
     )
     p.add_argument("--loads", default="0.3,0.6,0.9",
                    help="comma-separated offered-load fractions")
     p.add_argument("--duration", type=float, default=0.5,
                    help="simulated seconds per load point (packet engine)")
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--flow-seed", type=int, default=0,
+                   help="Poisson-arrival seed (packet engine)")
+    _add_cache_args(p)
     p.set_defaults(func=_cmd_netsim)
 
     p = sub.add_parser("weather", help="yearly weather analysis (Fig 7)")
-    p.add_argument("--sites", type=int, default=30)
+    add_scenario_args(p)
     p.add_argument("--budget", type=float, default=1000.0)
     p.add_argument("--intervals", type=int, default=120)
+    p.add_argument("--graded", action="store_true",
+                   help="also run the graded (modulation-downshift) model")
+    _add_cache_args(p)
     p.set_defaults(func=_cmd_weather)
 
     p = sub.add_parser("econ", help="cost-benefit table (§8)")
     p.add_argument("--cost-per-gb", type=float, default=0.81)
+    _add_cache_args(p)
     p.set_defaults(func=_cmd_econ)
+
+    p = sub.add_parser(
+        "run",
+        help="run an experiment spec file (optionally a multi-axis sweep)",
+    )
+    p.add_argument("spec", help="path to the spec JSON (an ExperimentSpec "
+                   "document, or {'spec': ..., 'axes': {path: [values]}})")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for sweep points")
+    p.add_argument("--json", action="store_true",
+                   help="emit the records as JSON instead of a table")
+    _add_cache_args(p)
+    p.set_defaults(func=_cmd_run)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Spec/scenario validation errors surface as clean CLI failures.
+        raise SystemExit(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -31,6 +31,7 @@ from .design import (
     register_solver,
     solve,
     solver_names,
+    solver_version,
     topology_from_links,
 )
 from .pipeline import (
@@ -79,6 +80,7 @@ __all__ = [
     "register_solver",
     "solve",
     "solver_names",
+    "solver_version",
     "topology_from_links",
     "CachingLosChecker",
     "HopPipeline",

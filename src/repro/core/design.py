@@ -149,7 +149,14 @@ class SolveOutcome:
 
 @runtime_checkable
 class Solver(Protocol):
-    """One topology-design backend behind the uniform signature."""
+    """One topology-design backend behind the uniform signature.
+
+    Backends may carry a ``version`` string (default "1"): the
+    experiment orchestration layer (:mod:`repro.exp`) embeds it in the
+    design stage's cache key, so bumping a solver's version retires
+    every cached design it produced without touching other backends'
+    artifacts.
+    """
 
     name: str
 
@@ -185,6 +192,11 @@ def get_solver(name: str) -> Solver:
         raise KeyError(
             f"unknown solver {name!r}; registered: {', '.join(solver_names())}"
         ) from None
+
+
+def solver_version(name: str) -> str:
+    """The backend's code-version tag (cache-key ingredient; default "1")."""
+    return getattr(get_solver(name), "version", "1")
 
 
 def solve(problem: DesignInput, budget: float, backend: str = "heuristic", **opts) -> SolveOutcome:

@@ -1,0 +1,53 @@
+"""Experiment orchestration: spec DAG, artifact cache, sweep runner.
+
+The composition layer behind every paper experiment: a declarative,
+seed-pinned :class:`ExperimentSpec` runs through the stage graph
+``substrate → design → {netsim, weather, apps, econ}`` with each stage
+memoized in a content-addressed :class:`ArtifactStore`, and
+:class:`SweepRunner` fans a spec out over axes across worker processes
+into one tidy records table.
+"""
+
+from .runner import (
+    ExperimentRun,
+    SweepAxis,
+    SweepResult,
+    SweepRunner,
+    run_experiment,
+)
+from .spec import (
+    AppsSpec,
+    DesignSpec,
+    EconSpec,
+    ExperimentSpec,
+    NetsimSpec,
+    ScenarioSpec,
+    WeatherSpec,
+    canonical_json,
+)
+from .stages import BASE_STAGES, STAGES, dependency_closure, stage_key
+from .store import ArtifactStore, NullStore, artifact_key, default_store_root
+
+__all__ = [
+    "AppsSpec",
+    "ArtifactStore",
+    "BASE_STAGES",
+    "DesignSpec",
+    "EconSpec",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "NetsimSpec",
+    "NullStore",
+    "STAGES",
+    "ScenarioSpec",
+    "SweepAxis",
+    "SweepResult",
+    "SweepRunner",
+    "WeatherSpec",
+    "artifact_key",
+    "canonical_json",
+    "default_store_root",
+    "dependency_closure",
+    "run_experiment",
+    "stage_key",
+]

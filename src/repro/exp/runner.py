@@ -1,0 +1,358 @@
+"""Experiment execution: single runs and parallel sweeps.
+
+:func:`run_experiment` walks the stage DAG for one
+:class:`~repro.exp.spec.ExperimentSpec` in topological order, fetching
+each stage artifact from the :class:`~repro.exp.store.ArtifactStore`
+(status ``"cached"``) or computing and publishing it (``"computed"``).
+
+:class:`SweepRunner` expands a base spec over declared axes (the
+cartesian product), executes the points with ``concurrent.futures``
+process workers, and streams each finished point's rows into one tidy
+records table.  Determinism contract: every stage is a pure function of
+its seed-pinned spec slice, and rows are emitted in point order — so a
+``jobs=4`` run is byte-identical to ``jobs=1``, and a warm-cache rerun
+is byte-identical to the cold run while skipping every substrate/design
+execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .spec import ExperimentSpec, canonical_json
+from .stages import BASE_STAGES, STAGES, stage_key
+from .store import CACHED, COMPUTED, ArtifactStore, NullStore
+
+
+@dataclass
+class ExperimentRun:
+    """One executed spec: artifacts, tidy rows, and per-stage status.
+
+    Attributes:
+        spec: the spec that ran.
+        records: tidy rows (each carries a ``stage`` column).
+        stage_status: stage name -> "cached" | "computed".
+        artifacts: stage name -> artifact (substrate Scenario, design
+            DesignResult, evaluation record lists).
+    """
+
+    spec: ExperimentSpec
+    records: list[dict]
+    stage_status: dict[str, str]
+    artifacts: dict[str, Any]
+
+    def records_json(self) -> str:
+        """Canonical JSON of the rows (byte-comparable across runs)."""
+        return canonical_json(self.records)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    store: ArtifactStore | None = None,
+    stages: Sequence[str] | None = None,
+) -> ExperimentRun:
+    """Execute one spec through the stage DAG.
+
+    Args:
+        spec: the experiment to run.
+        store: artifact cache; defaults to the on-disk store at
+            ``$REPRO_ARTIFACT_DIR`` (or ``~/.cache/repro/artifacts``).
+            Pass :class:`~repro.exp.store.NullStore` to disable caching.
+        stages: stages to materialize.  The default — substrate, design,
+            and every evaluation section the spec enables — always
+            includes substrate/design (from cache when warm).  An
+            explicit tuple materializes exactly those stages, pulling in
+            dependencies only on cache misses (so e.g. ``("econ",)``
+            with a pinned cost never touches the design).
+    """
+    store = store if store is not None else ArtifactStore()
+    if stages is not None:
+        requested = tuple(stages)
+    else:
+        requested = (*BASE_STAGES, *spec.eval_stages())
+    unknown = [s for s in requested if s not in STAGES]
+    if unknown:
+        raise ValueError(f"unknown stage(s): {', '.join(unknown)}")
+    for name in requested:
+        if name not in BASE_STAGES and getattr(spec, name, None) is None:
+            raise ValueError(
+                f"stage {name!r} requested but the spec's {name!r} section "
+                "is not enabled"
+            )
+
+    artifacts: dict[str, Any] = {}
+    status: dict[str, str] = {}
+
+    def materialize(name: str) -> Any:
+        if name in artifacts:
+            return artifacts[name]
+        stage = STAGES[name]
+        # Check this stage's cache *before* touching its dependencies: a
+        # cached evaluation never loads the (much larger) substrate or
+        # design artifacts it was computed from.
+        key = stage_key(spec, name)
+        found, artifact = store.get(key)
+        if found:
+            stage_status = CACHED
+        else:
+            inputs = {dep: materialize(dep) for dep in stage.deps(spec)}
+            artifact = stage.run(spec, inputs)
+            store.put(key, artifact)
+            stage_status = COMPUTED
+        artifacts[name] = artifact
+        status[name] = stage_status
+        return artifact
+
+    for name in requested:
+        materialize(name)
+
+    # Records cover exactly the requested stages, in requested order:
+    # dependencies pulled in by a cache miss must not change the output
+    # (cold and warm runs of the same call stay byte-identical).
+    records: list[dict] = []
+    emitted: set[str] = set()
+    for name in requested:
+        if name in emitted:
+            continue
+        emitted.add(name)
+        for row in STAGES[name].records(spec, artifacts[name]):
+            if "stage" not in row:
+                row = {"stage": name, **row}
+            records.append(row)
+    return ExperimentRun(
+        spec=spec, records=records, stage_status=status, artifacts=artifacts
+    )
+
+
+# --------------------------------------------------------------------------
+# Sweeps.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One sweep dimension: a dotted spec path and its values.
+
+    ``path`` addresses a field of an enabled spec section, e.g.
+    ``"design.budget_towers"`` or ``"netsim.loads"``.
+    """
+
+    path: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"axis {self.path!r} needs at least one value")
+
+
+@dataclass
+class SweepResult:
+    """A finished sweep: the tidy table plus execution accounting.
+
+    Attributes:
+        records: one row per (point, stage row), in point order; every
+            row carries ``point`` plus one column per axis path.
+        points: the per-point :class:`ExperimentRun` summaries
+            (records + stage status), in point order.
+        stage_counts: stage -> {"computed": n, "cached": n} aggregated
+            over all points.
+    """
+
+    axes: tuple[SweepAxis, ...]
+    records: list[dict]
+    points: list[ExperimentRun]
+    stage_counts: dict[str, dict[str, int]]
+
+    def records_json(self) -> str:
+        """Canonical JSON of the table (byte-comparable across runs)."""
+        return canonical_json(self.records)
+
+    def executed(self, stage: str) -> int:
+        """How many points actually *computed* this stage (vs cache hits)."""
+        return self.stage_counts.get(stage, {}).get(COMPUTED, 0)
+
+
+def _axis_list(
+    axes: Mapping[str, Sequence] | Sequence[SweepAxis],
+) -> tuple[SweepAxis, ...]:
+    if isinstance(axes, Mapping):
+        return tuple(SweepAxis(path, tuple(values)) for path, values in axes.items())
+    return tuple(
+        a if isinstance(a, SweepAxis) else SweepAxis(a[0], tuple(a[1])) for a in axes
+    )
+
+
+#: One store per (worker process, root): keeps the store's per-process
+#: memory layer effective across the several points a worker executes.
+_WORKER_STORES: dict[str | None, ArtifactStore] = {}
+
+
+def _worker_store(store_root: str | None) -> ArtifactStore:
+    if store_root not in _WORKER_STORES:
+        _WORKER_STORES[store_root] = (
+            ArtifactStore(store_root) if store_root is not None else NullStore()
+        )
+    return _WORKER_STORES[store_root]
+
+
+def _sweep_point_worker(
+    spec_dict: dict, store_root: str | None, index: int
+) -> tuple[int, list[dict], dict[str, str]]:
+    """Process-pool entry: run one point against the shared disk store."""
+    spec = ExperimentSpec.from_dict(spec_dict)
+    run = run_experiment(spec, store=_worker_store(store_root))
+    return index, run.records, run.stage_status
+
+
+class SweepRunner:
+    """Expand a spec over axes and execute the points, possibly in parallel.
+
+    Args:
+        base_spec: the spec every point starts from.
+        axes: mapping of dotted path -> values (or ``SweepAxis`` list);
+            the sweep is the cartesian product, first axis outermost.
+        store: shared artifact cache (must be an on-disk store for
+            cross-process reuse; ``NullStore`` disables caching).
+        jobs: worker processes; 1 executes inline in this process.
+
+    Example::
+
+        runner = SweepRunner(
+            spec,
+            axes={"design.budget_towers": [500, 1000, 1500],
+                  "netsim.loads": [(0.3,), (0.9,)]},
+            jobs=4,
+        )
+        result = runner.run()
+    """
+
+    def __init__(
+        self,
+        base_spec: ExperimentSpec,
+        axes: Mapping[str, Sequence] | Sequence[SweepAxis],
+        store: ArtifactStore | None = None,
+        jobs: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.base_spec = base_spec
+        self.axes = _axis_list(axes)
+        self.store = store if store is not None else ArtifactStore()
+        self.jobs = jobs
+        # Fail fast on bad paths / disabled sections before any work runs.
+        for axis in self.axes:
+            base_spec.with_value(axis.path, axis.values[0])
+
+    def point_specs(self) -> list[tuple[dict, ExperimentSpec]]:
+        """(axis-assignment, spec) for every sweep point, in sweep order."""
+        combos = itertools.product(*(axis.values for axis in self.axes))
+        points = []
+        for combo in combos:
+            spec = self.base_spec
+            assignment: dict[str, Any] = {}
+            for axis, value in zip(self.axes, combo):
+                spec = spec.with_value(axis.path, value)
+                assignment[axis.path] = value
+            points.append((assignment, spec))
+        return points
+
+    def _point_waves(
+        self, points: list[tuple[dict, ExperimentSpec]]
+    ) -> list[list[int]]:
+        """Schedule points so shared expensive stages compute once.
+
+        Cold points sharing a substrate or design key would otherwise
+        race: every worker misses the store at the same time and
+        redundantly rebuilds the same artifact.  Each wave runs one
+        representative point per distinct stage key (substrate first,
+        then design) so later waves find the shared artifacts published;
+        on a warm store the extra barriers cost microseconds.  With a
+        NullStore nothing is shareable, so there is one wave.
+        """
+        if isinstance(self.store, NullStore):
+            return [list(range(len(points)))]
+        remaining = list(range(len(points)))
+        waves: list[list[int]] = []
+        for stage_name in BASE_STAGES:
+            reps: list[int] = []
+            rest: list[int] = []
+            seen: set[str] = set()
+            for index in remaining:
+                key = stage_key(points[index][1], stage_name)
+                if key in seen:
+                    rest.append(index)
+                else:
+                    seen.add(key)
+                    reps.append(index)
+            if rest:  # sharing exists at this level: barrier after reps
+                waves.append(reps)
+                remaining = rest
+        if remaining:
+            waves.append(remaining)
+        return waves
+
+    def run(
+        self, on_point: Callable[[int, list[dict]], None] | None = None
+    ) -> SweepResult:
+        """Execute every point; rows stream via ``on_point`` as they finish.
+
+        ``on_point(index, rows)`` fires in completion order; the returned
+        table is always in point order regardless of ``jobs``.
+        """
+        points = self.point_specs()
+        results: dict[int, tuple[list[dict], dict[str, str]]] = {}
+        if self.jobs == 1 or len(points) <= 1:
+            for index, (_assignment, spec) in enumerate(points):
+                run = run_experiment(spec, store=self.store)
+                results[index] = (run.records, run.stage_status)
+                if on_point is not None:
+                    on_point(index, run.records)
+        else:
+            store_root = (
+                None if isinstance(self.store, NullStore) else str(self.store.root)
+            )
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                for wave in self._point_waves(points):
+                    pending = {
+                        pool.submit(
+                            _sweep_point_worker,
+                            points[index][1].to_dict(),
+                            store_root,
+                            index,
+                        )
+                        for index in wave
+                    }
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            index, records, stage_status = future.result()
+                            results[index] = (records, stage_status)
+                            if on_point is not None:
+                                on_point(index, records)
+
+        table: list[dict] = []
+        runs: list[ExperimentRun] = []
+        counts: dict[str, dict[str, int]] = {}
+        for index, (assignment, spec) in enumerate(points):
+            records, stage_status = results[index]
+            for stage_name, outcome in stage_status.items():
+                bucket = counts.setdefault(stage_name, {COMPUTED: 0, CACHED: 0})
+                bucket[outcome] = bucket.get(outcome, 0) + 1
+            for row in records:
+                table.append({"point": index, **assignment, **row})
+            runs.append(
+                ExperimentRun(
+                    spec=spec,
+                    records=records,
+                    stage_status=stage_status,
+                    artifacts={},
+                )
+            )
+        return SweepResult(
+            axes=self.axes, records=table, points=runs, stage_counts=counts
+        )

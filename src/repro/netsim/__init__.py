@@ -7,6 +7,7 @@ from .experiments import (
     UdpExperimentResult,
     hybrid_routing_graph,
     run_failure_reroute_experiment,
+    run_load_curve,
     build_edge_specs,
     run_udp_experiment,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "FailureRerouteResult",
     "UdpExperimentResult",
     "run_failure_reroute_experiment",
+    "run_load_curve",
     "build_edge_specs",
     "run_udp_experiment",
     "DEFAULT_UDP_PACKET_BYTES",

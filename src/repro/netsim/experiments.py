@@ -31,8 +31,9 @@ from .monitor import FlowMonitor
 from .network import EdgeSpec, Network
 from .routing import RoutingCache
 
-#: Engines selectable through :func:`run_udp_experiment`.
-ENGINES = ("packet", "fluid")
+# The engine list is owned by the (dependency-light) spec module so the
+# spec layer, this package, and the CLI validate against one copy.
+from ..exp.spec import ENGINES  # noqa: E402 - re-exported for callers
 
 
 @dataclass(frozen=True)
@@ -267,6 +268,47 @@ def run_udp_experiment(
         loss_rate=monitor.overall_loss_rate(),
         max_link_utilization=max_util,
     )
+
+
+def run_load_curve(
+    topology: Topology,
+    design_aggregate_gbps: float,
+    loads: tuple[float, ...] | list[float],
+    engine: str = "packet",
+    duration_s: float = 0.5,
+    seed: int = 0,
+    capacity_mode: str = "k2",
+    offered_traffic: np.ndarray | None = None,
+) -> list[dict]:
+    """The full Fig 5 load curve as tidy records (the netsim stage).
+
+    One :func:`run_udp_experiment` per load fraction, flattened to
+    plain-scalar rows so the orchestration layer can cache, merge, and
+    serialize them deterministically.
+    """
+    rows: list[dict] = []
+    for load in loads:
+        res = run_udp_experiment(
+            topology,
+            design_aggregate_gbps,
+            float(load),
+            offered_traffic=offered_traffic,
+            duration_s=duration_s,
+            capacity_mode=capacity_mode,
+            seed=seed,
+            engine=engine,
+        )
+        rows.append(
+            {
+                "stage": "netsim",
+                "engine": engine,
+                "load": float(load),
+                "mean_delay_ms": float(res.mean_delay_ms),
+                "loss_rate": float(res.loss_rate),
+                "max_link_utilization": float(res.max_link_utilization),
+            }
+        )
+    return rows
 
 
 def hybrid_routing_graph(topology: Topology) -> nx.Graph:

@@ -268,8 +268,21 @@ class RoutingCache:
         return dropped
 
     def restore_link(self, u, v, **attrs) -> None:
-        """Re-add a failed edge; any path may improve, so flush all."""
-        saved = self._saved_edges.pop(self._edge_key(u, v), {})
+        """Re-add a failed edge; any path may improve, so flush all.
+
+        The edge's attributes come from the ``fail_link`` snapshot,
+        overlaid with ``attrs``.  Restoring an edge that was never
+        failed (and giving no attributes) would silently add a
+        weightless edge — networkx treats a missing weight as 1 — so
+        that is an error instead.
+        """
+        saved = self._saved_edges.pop(self._edge_key(u, v), None)
+        if saved is None and not attrs:
+            raise ValueError(
+                f"edge ({u}, {v}) has no saved attributes to restore "
+                "(not failed via fail_link?); pass explicit attributes"
+            )
+        saved = dict(saved or {})
         saved.update(attrs)
         self.graph.add_edge(u, v, **saved)
         self._version += 1

@@ -1,6 +1,6 @@
 """Pre-assembled scenarios: US, Europe, and data-center deployments."""
 
-from .base import Scenario, build_scenario
+from .base import SCENARIO_BUILDERS, Scenario, build_scenario, get_scenario
 from .europe import EU_FIBER_STRETCH, europe_scenario
 from .interdc import (
     city_dc_scenario,
@@ -12,8 +12,10 @@ from .interdc import (
 from .us import us_scenario
 
 __all__ = [
+    "SCENARIO_BUILDERS",
     "Scenario",
     "build_scenario",
+    "get_scenario",
     "EU_FIBER_STRETCH",
     "europe_scenario",
     "city_dc_scenario",

@@ -24,7 +24,7 @@ from ..towers.hops import HopGraph
 from ..towers.los import LosConfig
 from ..towers.registry import TowerRegistry, cull_towers
 from ..towers.synthesis import SynthesisConfig, synthesize_towers
-from ..traffic.matrices import population_product_matrix
+from ..traffic.matrices import dc_to_dc_matrix, population_product_matrix
 
 
 @dataclass(frozen=True)
@@ -59,10 +59,18 @@ class Scenario:
         return len(self.sites)
 
     def design_input(self, traffic: np.ndarray | None = None) -> DesignInput:
-        """A design input for the given (or default population-product)
-        traffic matrix."""
+        """A design input for the given (or default) traffic matrix.
+
+        The default is the paper's population-product model; for
+        all-zero-population site lists (the inter-DC scenarios, §6.3)
+        it falls back to equal demand between every pair.
+        """
         if traffic is None:
-            traffic = population_product_matrix(list(self.sites))
+            sites = list(self.sites)
+            if all(s.population == 0 for s in sites):
+                traffic = dc_to_dc_matrix(sites, list(range(len(sites))))
+            else:
+                traffic = population_product_matrix(sites)
         return DesignInput(
             sites=self.sites,
             traffic=traffic,
@@ -134,3 +142,75 @@ def build_scenario(
 def radio_profile_with_range(max_range_km: float) -> RadioProfile:
     """A default radio profile with a custom maximum hop range (§6.5)."""
     return RadioProfile(max_range_km=max_range_km)
+
+
+# The scenario name/seed metadata and validation rules live in the
+# (dependency-free) spec module so the spec layer, this dispatcher, and
+# the CLI share one copy.
+from ..exp.spec import (  # noqa: E402 - single source of scenario metadata
+    ScenarioSpec,
+    SCENARIO_NAMES as SCENARIO_BUILDERS,
+)
+
+_DEFAULT_MAX_RANGE_KM = 100.0
+_DEFAULT_USABLE_HEIGHT = 1.0
+
+
+def get_scenario(
+    name: str,
+    sites: int | None = None,
+    max_range_km: float = _DEFAULT_MAX_RANGE_KM,
+    usable_height_fraction: float = _DEFAULT_USABLE_HEIGHT,
+    seed: int | None = None,
+) -> Scenario:
+    """Build (or fetch the cached) scenario by name — the substrate stage.
+
+    This is the one dispatcher the CLI and the experiment orchestration
+    layer (:mod:`repro.exp`) share, and it is *strict*: a parameter a
+    scenario cannot honor raises ``ValueError`` instead of being
+    silently dropped (``sites`` for the fixed-site ``europe`` and
+    ``interdc`` scenarios, LoS overrides for the data-center scenarios).
+
+    Args:
+        name: "us", "europe", "interdc", or "city_dc".
+        sites: site-list size (``us``: ≤120 population centers,
+            ``city_dc``: city count); None picks the scenario default.
+        max_range_km / usable_height_fraction: §6.5 LoS overrides
+            (``us`` and ``europe`` only).
+        seed: tower-synthesis seed; None keeps the scenario default.
+    """
+    # ScenarioSpec owns the validation rules (unknown name, fixed site
+    # lists, LoS-override restrictions); constructing one applies them.
+    spec = ScenarioSpec(
+        name=name,
+        sites=sites,
+        max_range_km=max_range_km,
+        usable_height_fraction=usable_height_fraction,
+        seed=seed,
+    )
+    seed = spec.resolved_seed()
+
+    from .europe import europe_scenario
+    from .interdc import city_dc_scenario, interdc_scenario
+    from .us import us_scenario
+    if name == "us":
+        kwargs = dict(
+            max_range_km=max_range_km,
+            usable_height_fraction=usable_height_fraction,
+            seed=seed,
+        )
+        if sites is not None:
+            kwargs["n_sites"] = sites
+        return us_scenario(**kwargs)
+    if name == "europe":
+        return europe_scenario(
+            max_range_km=max_range_km,
+            usable_height_fraction=usable_height_fraction,
+            seed=seed,
+        )
+    if name == "interdc":
+        return interdc_scenario(seed=seed)
+    kwargs = {"seed": seed}
+    if sites is not None:
+        kwargs["n_cities"] = sites
+    return city_dc_scenario(**kwargs)

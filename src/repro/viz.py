@@ -108,3 +108,38 @@ def render_topology(
         sites[i].name for i in big[: max(n_labels, 1)]
     )
     return "\n".join(lines + legend + [label_line])
+
+
+def render_records_table(records: list[dict], max_float_digits: int = 4) -> str:
+    """Format tidy records (the sweep/experiment output) as an ASCII table.
+
+    Columns are the union of the rows' keys in first-seen order; missing
+    cells render empty.  Floats are rounded for display only — the
+    underlying records stay exact.
+    """
+    if not records:
+        return "(no records)"
+    columns: list[str] = []
+    for row in records:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(row: dict, col: str) -> str:
+        if col not in row:
+            return ""
+        value = row[col]
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:.{max_float_digits}f}"
+        return str(value)
+
+    body = [[cell(row, col) for col in columns] for row in records]
+    widths = [
+        max(len(col), *(len(r[i]) for r in body)) for i, col in enumerate(columns)
+    ]
+    lines = ["  ".join(col.ljust(w) for col, w in zip(columns, widths)).rstrip()]
+    for r in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)).rstrip())
+    return "\n".join(lines)

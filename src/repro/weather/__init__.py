@@ -11,6 +11,7 @@ from .degradation import (
     GradedComparison,
     graded_capacity_fraction,
     graded_yearly_comparison,
+    weather_stage_records,
 )
 from .failures import (
     YearlyStretchResult,
@@ -37,6 +38,7 @@ __all__ = [
     "GradedComparison",
     "graded_capacity_fraction",
     "graded_yearly_comparison",
+    "weather_stage_records",
     "effective_path_km",
     "hop_fails",
     "path_attenuation_db",

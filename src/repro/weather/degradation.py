@@ -139,3 +139,62 @@ def graded_yearly_comparison(
         graded_worst=per_interval.max(axis=0),
         capacity_loss_fraction=float(np.mean(capacity_losses)),
     )
+
+
+def weather_stage_records(
+    topology: Topology,
+    catalog: LinkCatalog,
+    registry: TowerRegistry,
+    n_intervals: int = 120,
+    fade_margin_db: float = 30.0,
+    seed: int = 7,
+    graded: bool = False,
+) -> list[dict]:
+    """The yearly weather analysis as tidy records (the weather stage).
+
+    One row per stretch series (best / p99 / worst / fiber) with its
+    median and 95th percentile; with ``graded`` the graded-degradation
+    comparison adds a graded-p99 series and the mean capacity-loss
+    fraction paid for keeping links up through modulation downshifts.
+    """
+    binary = yearly_stretch_analysis(
+        topology,
+        catalog,
+        registry,
+        n_intervals=n_intervals,
+        fade_margin_db=fade_margin_db,
+        seed=seed,
+    )
+    rows = [
+        {
+            "stage": "weather",
+            "series": label,
+            "median": float(np.median(values)),
+            "p95": float(np.percentile(values, 95)),
+        }
+        for label, values in (
+            ("best", binary.best),
+            ("p99", binary.p99),
+            ("worst", binary.worst),
+            ("fiber", binary.fiber),
+        )
+    ]
+    if graded:
+        comparison = graded_yearly_comparison(
+            topology,
+            catalog,
+            registry,
+            n_intervals=n_intervals,
+            binary_margin_db=fade_margin_db,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "stage": "weather",
+                "series": "graded_p99",
+                "median": float(np.median(comparison.graded_p99)),
+                "p95": float(np.percentile(comparison.graded_p99, 95)),
+                "capacity_loss_fraction": comparison.capacity_loss_fraction,
+            }
+        )
+    return rows

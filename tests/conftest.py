@@ -50,6 +50,18 @@ def make_toy_design(n: int, seed: int = 0) -> DesignInput:
     )
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(monkeypatch, tmp_path_factory):
+    """Point the experiment artifact store at a per-session temp dir.
+
+    Tests must never read or write the user-level cache: stale artifacts
+    could mask regressions, and test runs should not pollute it.  One
+    shared session directory still lets CLI tests reuse substrates.
+    """
+    root = tmp_path_factory.getbasetemp() / "artifact-store"
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(root))
+
+
 @pytest.fixture
 def toy_design_8():
     return make_toy_design(8, seed=8)

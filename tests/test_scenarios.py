@@ -87,6 +87,14 @@ class TestInterdcScenario:
         )
         assert res.mean_stretch < res.fiber_mean_stretch
 
+    def test_default_traffic_is_equal_demand(self):
+        """Zero-population site lists fall back to uniform demand, so
+        ``design_input()`` works for inter-DC scenarios (the CLI and the
+        orchestration layer's design stage call it with no matrix)."""
+        sc = interdc_scenario()
+        h = sc.design_input().traffic
+        assert np.array_equal(h, dc_dc_traffic(sc))
+
 
 class TestScenarioCaching:
     def test_cache_returns_same_object(self):
