@@ -1,0 +1,242 @@
+"""Graph-kernel gate: delta-evaluated evolution scoring >= 5x, same answers.
+
+Before the shared graph kernel (``repro.graph``), the evolution
+backend's objective evaluation paid two dense O(n^3) Floyd-Warshall
+solves per budget point: one for the traffic-weighted mean stretch and
+one (with predecessors) for the routes behind ``mw_shares`` — repeated
+from scratch for *every* budget in a sweep.  The kernel path maintains
+the all-pairs distance matrix and the per-pair MW-km incrementally
+across the greedy prefix (one O(n^2) single-edge delta per added link,
+O(n^2) readout per budget, zero full solves).
+
+The baseline below embeds the pre-kernel evaluation verbatim so the
+comparison stays honest as the library evolves.  Gates:
+
+1. the kernel evaluation of the full budget table must be >= 5x faster
+   than the baseline on the Fig-2-scale workload (120-city US);
+2. the selected link sets must be identical at every budget (the
+   greedy prefix is shared bit-for-bit — the kernel changes how
+   prefixes are *scored*, never which links are picked);
+3. mean stretch and the MW-share metrics must agree with the baseline
+   within floating-point tolerance (1e-9 relative), and the
+   registry-level ``evolution`` backend must land on the same topology.
+
+Each run appends to the ``BENCH_graph_kernel.json`` perf trajectory.
+"""
+
+import time
+
+import numpy as np
+from scipy.sparse.csgraph import shortest_path
+
+from repro.core import budget_evolution, greedy_sequence, solve
+from repro.core.topology import Topology, mean_stretch_from_distances
+
+from _support import full_us_design_input, report, write_bench_json
+
+#: Acceptance threshold (see module docstring).
+MIN_SPEEDUP = 5.0
+
+#: Fig-2-scale workload: the full 120-city US design, greedy to the
+#: paper's flagship 3,000-tower budget, scored at a dense budget sweep.
+GREEDY_BUDGET = 3000.0
+BUDGETS = tuple(float(b) for b in range(0, 3001, 125))
+
+#: Relative tolerance for the metric-parity gates.
+RTOL = 1e-9
+
+
+# --------------------------------------------------------------------------
+# The embedded pre-kernel baseline (verbatim seed semantics).
+# --------------------------------------------------------------------------
+
+
+def _seed_hybrid_weights(design, links):
+    w = design.fiber_km.copy()
+    for a, b in links:
+        m = design.mw_km[a, b]
+        if m < w[a, b]:
+            w[a, b] = w[b, a] = m
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+def _seed_routed_paths(design, links):
+    _, predecessors = shortest_path(
+        _seed_hybrid_weights(design, links),
+        method="FW",
+        directed=False,
+        return_predecessors=True,
+    )
+    n = design.n_sites
+    routes = {}
+    for s in range(n):
+        for t in range(s + 1, n):
+            if design.traffic[s, t] <= 0:
+                continue
+            path = [t]
+            node = t
+            while node != s:
+                node = int(predecessors[s, node])
+                if node < 0:
+                    break
+                path.append(node)
+            path.reverse()
+            routes[(s, t)] = path
+    return routes
+
+
+def _seed_mw_shares(design, links):
+    h = design.traffic
+    routes = _seed_routed_paths(design, links)
+    mw = set(links)
+    total_h = 0.0
+    touched_h = 0.0
+    mw_km_weighted = 0.0
+    total_km_weighted = 0.0
+    for (s, t), path in routes.items():
+        w = h[s, t]
+        total_h += w
+        uses_mw = False
+        for u, v in zip(path[:-1], path[1:]):
+            edge = (min(u, v), max(u, v))
+            is_mw = edge in mw and design.mw_km[edge] < design.fiber_km[edge]
+            length = design.mw_km[edge] if is_mw else design.fiber_km[edge]
+            total_km_weighted += w * length
+            if is_mw:
+                uses_mw = True
+                mw_km_weighted += w * length
+        if uses_mw:
+            touched_h += w
+    return (
+        touched_h / total_h,
+        mw_km_weighted / total_km_weighted if total_km_weighted > 0 else 0.0,
+    )
+
+
+def seed_budget_evolution(design, steps, budgets):
+    """The pre-kernel table: two dense FW solves per budget point."""
+    rows = []
+    for budget in budgets:
+        links = []
+        spent = 0.0
+        for step in steps:
+            if step.cumulative_cost <= budget:
+                links.append(step.link)
+                spent = step.cumulative_cost
+        dist = shortest_path(
+            _seed_hybrid_weights(design, links), method="FW", directed=False
+        )
+        traffic_on_mw, distance_share = _seed_mw_shares(design, links)
+        rows.append(
+            {
+                "budget": float(budget),
+                "towers_used": spent,
+                "links": frozenset(links),
+                "mean_stretch": mean_stretch_from_distances(design, dist),
+                "traffic_on_mw": traffic_on_mw,
+                "distance_share_mw": distance_share,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    design = full_us_design_input()
+    t0 = time.perf_counter()
+    steps = greedy_sequence(design, GREEDY_BUDGET)
+    t_greedy = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    baseline = seed_budget_evolution(design, steps, BUDGETS)
+    t_baseline = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    points = budget_evolution(design, steps, list(BUDGETS))
+    t_kernel = time.perf_counter() - t0
+
+    speedup = t_baseline / t_kernel if t_kernel > 0 else float("inf")
+
+    # -- parity gates -----------------------------------------------------
+    links_identical = True
+    max_stretch_diff = 0.0
+    max_share_diff = 0.0
+    for row, point in zip(baseline, points):
+        prefix = frozenset(
+            s.link for s in steps if s.cumulative_cost <= point.budget_towers
+        )
+        if not (row["links"] == prefix and point.n_links == len(prefix)):
+            links_identical = False
+        max_stretch_diff = max(
+            max_stretch_diff,
+            abs(row["mean_stretch"] - point.mean_stretch)
+            / max(abs(row["mean_stretch"]), 1e-300),
+        )
+        for key, value in (
+            ("traffic_on_mw", point.traffic_on_mw),
+            ("distance_share_mw", point.distance_share_mw),
+        ):
+            max_share_diff = max(max_share_diff, abs(row[key] - value))
+
+    # Registry-level end-to-end check: the evolution backend must select
+    # exactly the greedy prefix the table scored.
+    outcome = solve(design, GREEDY_BUDGET, backend="evolution")
+    final_prefix = frozenset(s.link for s in steps)
+    backend_identical = outcome.topology.mw_links == final_prefix
+    backend_stretch_diff = abs(
+        outcome.objective - baseline[-1]["mean_stretch"]
+    ) / max(abs(baseline[-1]["mean_stretch"]), 1e-300)
+
+    n_pairs = design.n_sites * (design.n_sites - 1) // 2
+    lines = [
+        f"workload                 {design.n_sites} sites / {n_pairs} pairs, "
+        f"{len(steps)} greedy links, {len(BUDGETS)} budget points",
+        f"greedy sequence          {t_greedy:8.2f} s  (shared by both paths)",
+        f"baseline evaluation      {t_baseline:8.3f} s  "
+        f"(2 dense FW solves per budget)",
+        f"kernel evaluation        {t_kernel:8.3f} s  (delta updates, no solves)",
+        f"speedup                  {speedup:8.1f} x  (gate: >= {MIN_SPEEDUP:.0f}x)",
+        f"link sets identical      {links_identical}",
+        f"backend links identical  {backend_identical}",
+        f"max stretch rel diff     {max_stretch_diff:.2e}  (gate: <= {RTOL:.0e})",
+        f"max share abs diff       {max_share_diff:.2e}  (gate: <= {RTOL:.0e})",
+    ]
+    report("graph_kernel", lines)
+
+    assert links_identical, "budget-prefix link sets diverged from the baseline"
+    assert backend_identical, (
+        "the evolution backend selected different links than the baseline"
+    )
+    assert max_stretch_diff <= RTOL, (
+        f"mean stretch diverged: rel diff {max_stretch_diff:.2e} > {RTOL:.0e}"
+    )
+    assert max_share_diff <= RTOL, (
+        f"MW shares diverged: abs diff {max_share_diff:.2e} > {RTOL:.0e}"
+    )
+    assert backend_stretch_diff <= RTOL, (
+        f"backend objective diverged: {backend_stretch_diff:.2e} > {RTOL:.0e}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"kernel evaluation speedup {speedup:.1f}x below the "
+        f"{MIN_SPEEDUP:.0f}x gate"
+    )
+
+    write_bench_json(
+        "graph_kernel",
+        {
+            "sites": design.n_sites,
+            "greedy_links": len(steps),
+            "budget_points": len(BUDGETS),
+            "greedy_s": round(t_greedy, 3),
+            "baseline_eval_s": round(t_baseline, 4),
+            "kernel_eval_s": round(t_kernel, 4),
+            "speedup": round(speedup, 2),
+            "max_stretch_rel_diff": float(max_stretch_diff),
+            "max_share_abs_diff": float(max_share_diff),
+        },
+    )
+    print("graph-kernel gate: PASS")
+
+
+if __name__ == "__main__":
+    main()

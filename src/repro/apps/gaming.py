@@ -30,6 +30,31 @@ DIRECTIONS = ("up", "down", "left", "right")
 DEFAULT_FAST_FRACTION = 1.0 / 3.0
 
 
+def fast_fraction_from_topology(topology) -> float:
+    """The fast path's latency fraction implied by a designed network.
+
+    The thin/fat-client models express the low-latency path as a
+    fraction of the conventional (fiber Internet) path's latency.  For
+    a designed cISP that fraction is the ratio of its traffic-weighted
+    mean stretch to the all-fiber baseline — the design stretch comes
+    from the topology's memoized graph kernel, and the baseline
+    directly from the fiber metric closure, so chaining this after a
+    design costs no extra all-pairs solve.  The paper's default of 1/3
+    corresponds to its 3x stretch advantage; a real design plugs in
+    its own number here.
+    """
+    from ..core.topology import mean_stretch_from_distances
+
+    # fiber_km is a metric closure (an already-solved all-pairs
+    # answer), so the baseline needs no shortest-path solve.
+    fiber_stretch = mean_stretch_from_distances(
+        topology.design, topology.design.fiber_km
+    )
+    if fiber_stretch <= 0:
+        raise ValueError("fiber baseline stretch must be positive")
+    return min(1.0, topology.mean_stretch() / fiber_stretch)
+
+
 @dataclass(frozen=True)
 class FrameTimeStats:
     """Frame-time measurement for one configuration.

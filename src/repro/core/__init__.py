@@ -9,7 +9,12 @@ from .augmentation import (
     series_needed,
 )
 from .costs import CostModel
-from .evolution import EvolutionPoint, budget_evolution, mw_shares
+from .evolution import (
+    EvolutionPoint,
+    budget_evolution,
+    mw_shares,
+    shares_from_state,
+)
 from .exhaustive import solve_exhaustive
 from .media import (
     ALL_MEDIA,
@@ -63,6 +68,7 @@ __all__ = [
     "EvolutionPoint",
     "budget_evolution",
     "mw_shares",
+    "shares_from_state",
     "ALL_MEDIA",
     "FREE_SPACE_OPTICS",
     "HOLLOW_CORE_FIBER",

@@ -5,6 +5,14 @@ mostly-fiber to mostly-MW as the budget increases".  This module
 produces that evolution as data: for each budget, the share of traffic
 that touches any MW link and the share of traffic-weighted distance
 actually carried over MW.
+
+Scoring is *delta-evaluated* on the shared graph kernel: instead of a
+fresh all-pairs solve per budget point (the pre-kernel behavior paid
+two dense O(n^3) Floyd-Warshall solves per point — one for the stretch
+and one for the routes behind :func:`mw_shares`), the distance matrix
+and the per-pair MW-km are maintained incrementally across the greedy
+prefix with :func:`repro.graph.edge_delta_with_carry` — one O(n^2)
+update per added link, O(n^2) readout per budget, zero full solves.
 """
 
 from __future__ import annotations
@@ -13,8 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..graph import edge_delta_with_carry
 from .heuristic import GreedyStep
-from .topology import DesignInput, Topology
+from .topology import DesignInput, Topology, mean_stretch_from_distances
 
 
 @dataclass(frozen=True)
@@ -71,30 +80,75 @@ def mw_shares(topology: Topology) -> tuple[float, float]:
     )
 
 
+def shares_from_state(
+    design: DesignInput, dist: np.ndarray, mw_km_on_route: np.ndarray
+) -> tuple[float, float]:
+    """(traffic_on_mw, distance_share_mw) from the incremental kernel state.
+
+    ``dist`` and ``mw_km_on_route`` are the delta-maintained all-pairs
+    distance and MW-km-on-route matrices (see
+    :func:`repro.graph.edge_delta_with_carry`).  A pair's total routed
+    km *is* its distance, so no route reconstruction is needed.
+    """
+    iu = np.triu_indices(design.n_sites, k=1)
+    h = design.traffic[iu]
+    d = dist[iu]
+    m = mw_km_on_route[iu]
+    mask = (h > 0) & np.isfinite(d)
+    total_h = float(h[mask].sum())
+    if total_h <= 0:
+        raise ValueError("no traffic")
+    touched_h = float(h[mask & (m > 0)].sum())
+    mw_km_weighted = float((h * m)[mask].sum())
+    total_km_weighted = float((h * d)[mask].sum())
+    return (
+        touched_h / total_h,
+        mw_km_weighted / total_km_weighted if total_km_weighted > 0 else 0.0,
+    )
+
+
 def budget_evolution(
     design: DesignInput,
     steps: list[GreedyStep],
     budgets: list[float],
 ) -> list[EvolutionPoint]:
-    """The evolution table for a greedy run's prefixes."""
-    points = []
-    for budget in budgets:
-        links = []
-        spent = 0.0
-        for step in steps:
-            if step.cumulative_cost <= budget:
-                links.append(step.link)
-                spent = step.cumulative_cost
-        topology = Topology(design=design, mw_links=frozenset(links))
-        traffic_on_mw, distance_share = mw_shares(topology)
-        points.append(
-            EvolutionPoint(
-                budget_towers=float(budget),
-                towers_used=spent,
-                n_links=len(links),
-                mean_stretch=topology.mean_stretch(),
-                traffic_on_mw=traffic_on_mw,
-                distance_share_mw=distance_share,
+    """The evolution table for a greedy run's prefixes.
+
+    Budgets are evaluated in ascending order internally (results come
+    back in the given order): the greedy prefix only grows, so each
+    added link is one incremental delta update of the shared
+    (distance, MW-km) state — no per-budget all-pairs solve.
+    """
+    order = sorted(range(len(budgets)), key=lambda i: float(budgets[i]))
+    dist = design.fiber_km.copy()
+    np.fill_diagonal(dist, 0.0)
+    mw_carry = np.zeros_like(dist)
+    mw = design.mw_km
+
+    by_index: dict[int, EvolutionPoint] = {}
+    next_step = 0
+    spent = 0.0
+    for i in order:
+        budget = float(budgets[i])
+        while (
+            next_step < len(steps)
+            and steps[next_step].cumulative_cost <= budget
+        ):
+            a, b = steps[next_step].link
+            dist, mw_carry = edge_delta_with_carry(
+                dist, mw_carry, a, b, mw[a, b]
             )
+            spent = steps[next_step].cumulative_cost
+            next_step += 1
+        traffic_on_mw, distance_share = shares_from_state(
+            design, dist, mw_carry
         )
-    return points
+        by_index[i] = EvolutionPoint(
+            budget_towers=budget,
+            towers_used=spent,
+            n_links=next_step,
+            mean_stretch=mean_stretch_from_distances(design, dist),
+            traffic_on_mw=traffic_on_mw,
+            distance_share_mw=distance_share,
+        )
+    return [by_index[i] for i in range(len(budgets))]

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..graph import edge_delta_distances
 from .ilp import prune_useless_links, solve_ilp
 from .topology import DesignInput, Topology, mean_stretch_from_distances
 
@@ -74,12 +75,13 @@ def _stretch_gain(
     b: int,
     mw_len: float,
 ) -> tuple[float, np.ndarray]:
-    """Stretch reduction from adding link (a, b), and the new distances."""
-    via = np.minimum(
-        dist[:, a][:, None] + dist[b, :][None, :],
-        dist[:, b][:, None] + dist[a, :][None, :],
-    )
-    new_dist = np.minimum(dist, via + mw_len)
+    """Stretch reduction from adding link (a, b), and the new distances.
+
+    A thin wrapper over the graph kernel's single-edge delta rule
+    (:func:`repro.graph.edge_delta_distances`), so the greedy and the
+    evolution backend provably share incremental-update semantics.
+    """
+    new_dist = edge_delta_distances(dist, a, b, mw_len)
     gain = float((weights * (dist - new_dist)).sum())
     return gain, new_dist
 

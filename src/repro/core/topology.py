@@ -10,16 +10,26 @@ always-available fiber.  Its key operation is computing the effective
 site-to-site latency-equivalent distance matrix (shortest paths over
 fiber + built MW links) and from it the traffic-weighted mean stretch,
 the paper's objective.
+
+All distance/routing queries go through the shared graph kernel
+(:mod:`repro.graph`) and are memoized on the (frozen) ``Topology``
+instance: the hybrid weight matrix, the kernel, the effective distance
+matrix, and the routed paths are each computed at most once per
+topology, no matter how many of ``mean_stretch()`` / ``mw_shares()`` /
+``routed_paths()`` a caller chains (``solve_heuristic``'s per-budget
+loop used to redo an identical all-pairs solve for every one of them).
+Memoized arrays are returned read-only; copy before mutating.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
-from scipy.sparse.csgraph import shortest_path
 
 from ..datasets.sites import Site
+from ..graph import GraphKernel, GraphView
 
 
 @dataclass(frozen=True)
@@ -96,6 +106,24 @@ class Topology:
                 raise ValueError(f"invalid link ({a}, {b})")
             if not np.isfinite(self.design.mw_km[a, b]):
                 raise ValueError(f"link ({a}, {b}) is not feasible in the input")
+        object.__setattr__(self, "_cache", {})
+
+    def __getstate__(self) -> dict:
+        # The memoization cache is derived data: keep it out of pickles
+        # (the artifact store serializes topologies) and deep copies.
+        state = dict(self.__dict__)
+        state.pop("_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        object.__setattr__(self, "_cache", {})
+
+    def _memo(self, key: str, compute) -> Any:
+        cache = self._cache
+        if key not in cache:
+            cache[key] = compute()
+        return cache[key]
 
     @property
     def total_cost_towers(self) -> float:
@@ -103,29 +131,48 @@ class Topology:
         return float(sum(self.design.cost_towers[a, b] for a, b in self.mw_links))
 
     def hybrid_weight_matrix(self) -> np.ndarray:
-        """Site-pair edge weights of the hybrid graph.
+        """Site-pair edge weights of the hybrid graph (memoized, read-only).
 
         Fiber between any pair is always available at o_ij; built MW
         links replace it where their m_ij is shorter.  This is the one
         place the hybrid fiber/MW model is defined — routing, stretch,
         and the netsim experiments all derive from it.
         """
-        w = self.design.fiber_km.copy()
-        for a, b in self.mw_links:
-            m = self.design.mw_km[a, b]
-            if m < w[a, b]:
-                w[a, b] = w[b, a] = m
-        np.fill_diagonal(w, 0.0)
-        return w
+
+        def build() -> np.ndarray:
+            w = self.design.fiber_km.copy()
+            for a, b in self.mw_links:
+                m = self.design.mw_km[a, b]
+                if m < w[a, b]:
+                    w[a, b] = w[b, a] = m
+            np.fill_diagonal(w, 0.0)
+            w.setflags(write=False)
+            return w
+
+        return self._memo("weights", build)
+
+    def graph_kernel(self) -> GraphKernel:
+        """The shared graph kernel over the hybrid graph (memoized)."""
+        return self._memo(
+            "kernel", lambda: GraphKernel(self.hybrid_weight_matrix())
+        )
+
+    def graph_view(self) -> GraphView:
+        """A fresh, caller-owned mutable view of the hybrid graph.
+
+        Each call returns an independent :class:`~repro.graph.GraphView`
+        (mutations never leak between consumers); the memoized kernel
+        and distance matrix stay untouched.
+        """
+        return GraphView(self.hybrid_weight_matrix(), tag="hybrid")
 
     def effective_distance_matrix(self) -> np.ndarray:
         """Latency-equivalent distances over fiber + built MW links.
 
-        Paths may concatenate fiber and MW segments.
+        Paths may concatenate fiber and MW segments.  Memoized; the
+        returned array is read-only.
         """
-        return shortest_path(
-            self.hybrid_weight_matrix(), method="FW", directed=False
-        )
+        return self.graph_kernel().distances()
 
     def stretch_matrix(self) -> np.ndarray:
         """Per-pair latency stretch over geodesic (NaN on the diagonal)."""
@@ -142,30 +189,33 @@ class Topology:
         """Shortest site-level route for every pair with positive demand.
 
         Returns, for each (s, t) with s < t and h_st > 0, the node
-        sequence s, ..., t over the hybrid graph.
+        sequence s, ..., t over the hybrid graph.  Pairs that are
+        unreachable (infinite hybrid distance) are skipped — they have
+        no route, and storing a truncated partial path (the pre-kernel
+        behavior) would silently corrupt downstream demand routing.
+        Memoized; treat the returned mapping as read-only.
         """
-        _, predecessors = shortest_path(
-            self.hybrid_weight_matrix(),
-            method="FW",
-            directed=False,
-            return_predecessors=True,
-        )
-        n = self.design.n_sites
-        routes: dict[tuple[int, int], list[int]] = {}
-        for s in range(n):
-            for t in range(s + 1, n):
-                if self.design.traffic[s, t] <= 0:
-                    continue
-                path = [t]
-                node = t
-                while node != s:
-                    node = int(predecessors[s, node])
-                    if node < 0:
-                        break
-                    path.append(node)
-                path.reverse()
-                routes[(s, t)] = path
-        return routes
+
+        def build() -> dict[tuple[int, int], list[int]]:
+            distances, predecessors = self.graph_kernel().predecessors()
+            n = self.design.n_sites
+            routes: dict[tuple[int, int], list[int]] = {}
+            for s in range(n):
+                for t in range(s + 1, n):
+                    if self.design.traffic[s, t] <= 0:
+                        continue
+                    if not np.isfinite(distances[s, t]):
+                        continue  # unreachable pair: no route to store
+                    path = [t]
+                    node = t
+                    while node != s:
+                        node = int(predecessors[s, node])
+                        path.append(node)
+                    path.reverse()
+                    routes[(s, t)] = path
+            return routes
+
+        return self._memo("routes", build)
 
 
 def mean_stretch_from_distances(design: DesignInput, distances: np.ndarray) -> float:

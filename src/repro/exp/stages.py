@@ -115,12 +115,18 @@ def _substrate_records(spec: ExperimentSpec, scenario) -> list[dict]:
 
 def _design_payload(spec: ExperimentSpec) -> dict:
     from ..core.design import solver_version
+    from ..graph import graph_kernel_version
 
     d = spec.design
     return {
         "budget_towers": float(d.budget_towers),
         "solver": d.solver,
         "solver_version": solver_version(d.solver),
+        # Every design (and every evaluation downstream of one) flows
+        # through the shared graph kernel; bumping KERNEL_VERSION when
+        # its semantics change retires the affected artifacts, exactly
+        # like a solver version bump.
+        "graph_kernel": graph_kernel_version(),
         "aggregate_gbps": None if d.aggregate_gbps is None else float(d.aggregate_gbps),
         "solver_opts": {str(k): v for k, v in d.solver_opts},
     }

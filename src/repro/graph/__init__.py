@@ -1,0 +1,38 @@
+"""The shared, incremental distance/routing engine (see ``kernel.py``).
+
+Public surface:
+
+* :class:`GraphKernel` — immutable all-pairs / per-source solver over
+  one weight matrix (dense FW or batched sparse Dijkstra, chosen by
+  density; the only module allowed to run dense Floyd-Warshall).
+* :class:`GraphView` — versioned mutable handle: O(n^2) delta updates
+  on edge improvement, exact fallback on removal, networkx export for
+  the netsim routing layer.
+* :func:`edge_delta_distances` / :func:`edge_delta_with_carry` /
+  :func:`closure_with_edges` — the vectorized single-edge insertion
+  rule the design heuristics and the evolution backend share.
+* :func:`graph_kernel_version` — cache-key ingredient for the
+  experiment orchestration layer.
+"""
+
+from .kernel import (
+    DENSE_DENSITY_THRESHOLD,
+    KERNEL_VERSION,
+    GraphKernel,
+    closure_with_edges,
+    edge_delta_distances,
+    edge_delta_with_carry,
+    graph_kernel_version,
+)
+from .view import GraphView
+
+__all__ = [
+    "DENSE_DENSITY_THRESHOLD",
+    "KERNEL_VERSION",
+    "GraphKernel",
+    "GraphView",
+    "closure_with_edges",
+    "edge_delta_distances",
+    "edge_delta_with_carry",
+    "graph_kernel_version",
+]

@@ -1,0 +1,146 @@
+"""GraphView: the versioned, mutable handle over the graph kernel.
+
+A :class:`GraphView` owns a private copy of a weight matrix and serves
+distance/path queries through a :class:`~repro.graph.kernel.GraphKernel`
+snapshot.  Edge mutations go through :meth:`GraphView.set_edge`:
+
+* **improvement** (the new weight is strictly smaller) — the cached
+  all-pairs distances are updated in O(n^2) with the kernel's exact
+  single-edge delta rule;
+* **removal / worsening** — cached results are invalidated and the
+  next query pays one exact full solve (the "exact fallback").
+
+Every mutation bumps :attr:`GraphView.version`, and
+:attr:`GraphView.signature` identifies the current graph state, so
+consumers holding a view (routing caches, experiment stages, sweep
+drivers) can detect that the graph changed underneath them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernel import GraphKernel, edge_delta_distances
+
+
+class GraphView:
+    """A mutable, versioned view of one evolving graph.
+
+    Args:
+        weights: dense (n, n) symmetric weight matrix (``inf`` = no
+            edge); the view keeps a private copy.
+        tag: a short label identifying what the graph models (part of
+            the signature).
+    """
+
+    __slots__ = ("_weights", "_tag", "_version", "_dist", "_kernel")
+
+    def __init__(self, weights: np.ndarray, tag: str = "graph") -> None:
+        w = np.array(weights, dtype=float)
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise ValueError(f"weights must be square, got shape {w.shape}")
+        np.fill_diagonal(w, 0.0)
+        self._weights = w
+        self._tag = str(tag)
+        self._version = 0
+        self._dist: np.ndarray | None = None
+        self._kernel: GraphKernel | None = None
+
+    @property
+    def n(self) -> int:
+        return self._weights.shape[0]
+
+    @property
+    def tag(self) -> str:
+        return self._tag
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every edge change)."""
+        return self._version
+
+    @property
+    def signature(self) -> tuple[str, int, int, int]:
+        """``(tag, version, n, edge_count)`` identifying the graph state."""
+        iu = np.triu_indices(self.n, k=1)
+        n_edges = int(np.isfinite(self._weights[iu]).sum())
+        return (self._tag, self._version, self.n, n_edges)
+
+    def weight(self, a: int, b: int) -> float:
+        """The current weight of edge (a, b) (``inf`` when absent)."""
+        return float(self._weights[a, b])
+
+    def weights_copy(self) -> np.ndarray:
+        """A writable copy of the current weight matrix."""
+        return self._weights.copy()
+
+    def kernel(self) -> GraphKernel:
+        """A kernel snapshot at the current weights (cached per version)."""
+        if self._kernel is None:
+            self._kernel = GraphKernel(self._weights)
+        return self._kernel
+
+    def distances(self) -> np.ndarray:
+        """All-pairs distances at the current weights (read-only).
+
+        Served from the delta-maintained cache when available, else one
+        exact kernel solve.
+        """
+        if self._dist is None:
+            self._dist = self.kernel().distances()
+        return self._dist
+
+    def path(self, s: int, t: int) -> list[int] | None:
+        """Shortest s -> t node sequence, or None when unreachable."""
+        return self.kernel().path(s, t)
+
+    def set_edge(self, a: int, b: int, weight: float) -> None:
+        """Set edge (a, b) to ``weight`` (``inf`` removes it).
+
+        A strict improvement delta-updates the cached distances in
+        O(n^2); a removal or worsening invalidates them (exact
+        fallback: the next query runs a full solve).
+        """
+        if not (0 <= a < self.n and 0 <= b < self.n) or a == b:
+            raise ValueError(f"invalid edge ({a}, {b}) for {self.n} nodes")
+        if weight < 0:
+            raise ValueError("edge weights must be non-negative")
+        old = self._weights[a, b]
+        if weight == old:
+            return
+        self._weights[a, b] = self._weights[b, a] = weight
+        self._version += 1
+        self._kernel = None
+        if self._dist is not None and weight < old:
+            dist = edge_delta_distances(self._dist, a, b, weight)
+            dist.setflags(write=False)
+            self._dist = dist
+        else:
+            self._dist = None
+
+    def remove_edge(self, a: int, b: int) -> None:
+        """Remove edge (a, b) (exact fallback on the next query)."""
+        self.set_edge(a, b, np.inf)
+
+    def to_networkx(self, weight: str = "latency"):
+        """Export the current graph as an undirected networkx graph.
+
+        Nodes are ``range(n)``; every finite off-diagonal pair becomes
+        an edge whose ``weight`` attribute holds its length.  Insertion
+        order is deterministic (upper-triangle order), so repeated
+        exports of the same view state are identical graphs.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n))
+        s_idx, t_idx = np.triu_indices(self.n, k=1)
+        finite = np.isfinite(self._weights[s_idx, t_idx])
+        graph.add_weighted_edges_from(
+            (
+                (int(s), int(t), float(self._weights[s, t]))
+                for s, t in zip(s_idx[finite], t_idx[finite])
+            ),
+            weight=weight,
+        )
+        return graph

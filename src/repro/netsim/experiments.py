@@ -314,23 +314,12 @@ def run_load_curve(
 def hybrid_routing_graph(topology: Topology) -> nx.Graph:
     """The site-level hybrid graph the experiments route over.
 
-    Weights come from :meth:`Topology.hybrid_weight_matrix`, so routing
-    here and the design-side routed paths share one hybrid model.
+    A thin export of :meth:`Topology.graph_view` — weights come from
+    the same :meth:`Topology.hybrid_weight_matrix` behind the design
+    objective, so routing here and the design-side routed paths share
+    one hybrid model (and one graph kernel).
     """
-    design = topology.design
-    w = topology.hybrid_weight_matrix()
-    graph = nx.Graph()
-    graph.add_nodes_from(range(design.n_sites))
-    s_idx, t_idx = np.triu_indices(design.n_sites, k=1)
-    finite = np.isfinite(w[s_idx, t_idx])
-    graph.add_weighted_edges_from(
-        (
-            (int(s), int(t), float(w[s, t]))
-            for s, t in zip(s_idx[finite], t_idx[finite])
-        ),
-        weight="latency",
-    )
-    return graph
+    return topology.graph_view().to_networkx(weight="latency")
 
 
 def run_failure_reroute_experiment(
@@ -384,7 +373,7 @@ def run_failure_reroute_experiment(
     # Post-failure routes must avoid the failed *site pair* entirely: in
     # the simulated network the MW link and the (hypothetical) direct
     # fiber between the same pair share one edge, and that edge is down.
-    cache = RoutingCache(hybrid_routing_graph(topology), weight="latency")
+    cache = RoutingCache(topology.graph_view(), weight="latency")
     cache.fail_link(*failed_link)
     new_routes: dict[tuple[int, int], list[int]] = {}
     for (s, t), _node_path, _h in kept:

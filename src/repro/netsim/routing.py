@@ -19,6 +19,8 @@ import networkx as nx
 import numpy as np
 from scipy.optimize import linprog
 
+from ..graph import GraphView
+
 
 def k_shortest_paths(
     graph: nx.Graph, source, target, k: int, weight: str = "latency"
@@ -174,9 +176,22 @@ class RoutingCache:
     Mutations must go through :meth:`fail_link` / :meth:`restore_link`;
     editing ``graph`` directly bypasses invalidation and can leave
     stale paths being served.
+
+    The cache can be built directly over a
+    :class:`~repro.graph.GraphView` (the shared graph kernel's
+    versioned handle): the view is exported once to the networkx form
+    Yen's algorithm needs and kept on :attr:`view`, and
+    :meth:`fail_link` / :meth:`restore_link` mirror their mutations
+    into it — the view's weights and version always describe the
+    cache's current graph state.
     """
 
-    def __init__(self, graph: nx.Graph, weight: str = "latency") -> None:
+    def __init__(self, graph: nx.Graph | GraphView, weight: str = "latency") -> None:
+        if isinstance(graph, GraphView):
+            self.view: GraphView | None = graph
+            graph = graph.to_networkx(weight=weight)
+        else:
+            self.view = None
         self.graph = graph
         self.weight = weight
         self._version = 0
@@ -258,6 +273,8 @@ class RoutingCache:
         edge = self._edge_key(u, v)
         self._saved_edges[edge] = dict(self.graph[u][v])
         self.graph.remove_edge(u, v)
+        if self.view is not None:
+            self.view.remove_edge(u, v)
         self._version += 1
         dropped = 0
         for key in list(self._edge_keys.get(edge, ())):
@@ -285,6 +302,8 @@ class RoutingCache:
         saved = dict(saved or {})
         saved.update(attrs)
         self.graph.add_edge(u, v, **saved)
+        if self.view is not None and self.weight in saved:
+            self.view.set_edge(u, v, float(saved[self.weight]))
         self._version += 1
         self.invalidations += len(self._cache)
         self._cache.clear()

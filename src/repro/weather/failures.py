@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.sparse.csgraph import shortest_path
 
 from ..core.topology import Topology
 from ..links.builder import LinkCatalog
@@ -105,17 +104,22 @@ def failed_links(
 def distances_with_failures(
     topology: Topology, failed: set[tuple[int, int]]
 ) -> np.ndarray:
-    """Effective distance matrix with the failed links removed."""
+    """Effective distance matrix with the failed links removed.
+
+    Consumes the topology's :class:`~repro.graph.GraphView`: each
+    failed MW link reverts to the always-available direct fiber, and
+    the view's exact fallback answers with one batched kernel solve.
+    With no failures the topology's memoized distances are reused
+    as-is.  The returned array is read-only.
+    """
     design = topology.design
-    w = design.fiber_km.copy()
+    if not failed:
+        return topology.effective_distance_matrix()
+    view = topology.graph_view()
     for a, b in topology.mw_links:
         if (a, b) in failed:
-            continue
-        m = design.mw_km[a, b]
-        if m < w[a, b]:
-            w[a, b] = w[b, a] = m
-    np.fill_diagonal(w, 0.0)
-    return shortest_path(w, method="FW", directed=False)
+            view.set_edge(a, b, design.fiber_km[a, b])
+    return view.distances()
 
 
 def yearly_stretch_analysis(

@@ -8,6 +8,7 @@ from repro.apps import (
     all_estimates,
     compare_corpus,
     ecommerce_value,
+    fast_fraction_from_topology,
     fat_client_latency_ms,
     frame_time_curve,
     gaming_value,
@@ -71,6 +72,28 @@ class TestThinClient:
         assert fat_client_latency_ms(90.0) == pytest.approx(30.0)
         with pytest.raises(ValueError):
             fat_client_latency_ms(-5.0)
+
+
+class TestFastFractionFromDesign:
+    def test_fiber_only_is_one(self, toy_design_8):
+        from repro.core import fiber_only_topology
+
+        assert fast_fraction_from_topology(
+            fiber_only_topology(toy_design_8)
+        ) == pytest.approx(1.0)
+
+    def test_designs_shrink_the_fraction(self, toy_design_10):
+        from repro.core import solve_heuristic
+
+        few = solve_heuristic(toy_design_10, 100.0, ilp_refinement=False).topology
+        many = solve_heuristic(toy_design_10, 500.0, ilp_refinement=False).topology
+        f_few = fast_fraction_from_topology(few)
+        f_many = fast_fraction_from_topology(many)
+        assert 0.0 < f_many <= f_few <= 1.0
+        # Feeding the derived fraction into the gaming model works
+        # end-to-end (the kernel-backed stretch drives the curve).
+        stats = simulate_thin_client(80.0, fast_fraction=f_many, n_inputs=50)
+        assert stats.mean_frame_time_ms > 0
 
 
 class TestWebModel:
