@@ -215,7 +215,11 @@ def _cmd_weather(args: argparse.Namespace) -> int:
             solver="heuristic",
             solver_opts={"ilp_refinement": False},
         ),
-        weather=WeatherSpec(n_intervals=args.intervals, graded=args.graded),
+        weather=WeatherSpec(
+            n_intervals=args.intervals,
+            graded=args.graded,
+            frequency_ghz=args.frequency_ghz,
+        ),
     )
     run = run_experiment(spec, store=_store_from_args(args))
     print("series  median  p95")
@@ -408,6 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--intervals", type=int, default=120)
     p.add_argument("--graded", action="store_true",
                    help="also run the graded (modulation-downshift) model")
+    p.add_argument("--frequency-ghz", type=float, default=11.0,
+                   help="MW carrier frequency for the rain-fade physics "
+                        "(shared by the binary and graded models)")
     _add_cache_args(p)
     p.set_defaults(func=_cmd_weather)
 

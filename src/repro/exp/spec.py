@@ -205,16 +205,22 @@ class WeatherSpec:
         fade_margin_db: binary failure threshold.
         seed: day-sampling seed.
         graded: also run the graded (modulation-downshift) comparison.
+        frequency_ghz: MW carrier frequency for the rain attenuation
+            physics — threaded through *both* the binary and the graded
+            pass, so the two models always evaluate the same physics.
     """
 
     n_intervals: int = 120
     fade_margin_db: float = 30.0
     seed: int = 7
     graded: bool = False
+    frequency_ghz: float = 11.0
 
     def __post_init__(self) -> None:
         if self.n_intervals <= 0:
             raise ValueError("need at least one interval")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
 
 
 @dataclass(frozen=True)

@@ -223,6 +223,7 @@ def _weather_payload(spec: ExperimentSpec) -> dict:
         "fade_margin_db": float(w.fade_margin_db),
         "seed": int(w.seed),
         "graded": bool(w.graded),
+        "frequency_ghz": float(w.frequency_ghz),
     }
 
 
@@ -245,6 +246,7 @@ def _run_weather(spec: ExperimentSpec, inputs: dict[str, Any]):
         fade_margin_db=w.fade_margin_db,
         seed=w.seed,
         graded=w.graded,
+        frequency_ghz=w.frequency_ghz,
     )
 
 
@@ -368,7 +370,11 @@ STAGES: dict[str, Stage] = {
     ),
     "weather": Stage(
         name="weather",
-        version="1",
+        # v2: shared sampler/evaluator (vectorized failures, failure-set
+        # memoized solves); binary series are bit-identical to v1, but
+        # the graded capacity-loss mean is now vectorized (float-level
+        # change) and the payload grew ``frequency_ghz``.
+        version="2",
         deps=_weather_deps,
         payload=_weather_payload,
         run=_run_weather,

@@ -6,8 +6,10 @@ Public surface:
   one weight matrix (dense FW or batched sparse Dijkstra, chosen by
   density; the only module allowed to run dense Floyd-Warshall).
 * :class:`GraphView` — versioned mutable handle: O(n^2) delta updates
-  on edge improvement, exact fallback on removal, networkx export for
-  the netsim routing layer.
+  on edge improvement, exact fallback on removal, batch what-if
+  removals (``distances_with_edges_removed``: affected-source Dijkstra
+  restart, view untouched), networkx export for the netsim routing
+  layer.
 * :func:`edge_delta_distances` / :func:`edge_delta_with_carry` /
   :func:`closure_with_edges` — the vectorized single-edge insertion
   rule the design heuristics and the evolution backend share.

@@ -14,13 +14,19 @@ Every mutation bumps :attr:`GraphView.version`, and
 :attr:`GraphView.signature` identifies the current graph state, so
 consumers holding a view (routing caches, experiment stages, sweep
 drivers) can detect that the graph changed underneath them.
+
+Batch *what-if* removals go through
+:meth:`GraphView.distances_with_edges_removed`: distances with a set
+of edges removed/worsened, computed by restarting Dijkstra only from
+the sources whose rows can change — without mutating the view.  The
+weather layer's failure-set evaluation is built on it.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .kernel import GraphKernel, edge_delta_distances
+from .kernel import DENSE_DENSITY_THRESHOLD, GraphKernel, edge_delta_distances
 
 
 class GraphView:
@@ -121,6 +127,93 @@ class GraphView:
     def remove_edge(self, a: int, b: int) -> None:
         """Remove edge (a, b) (exact fallback on the next query)."""
         self.set_edge(a, b, np.inf)
+
+    def distances_with_edges_removed(self, edges) -> np.ndarray:
+        """All-pairs distances with ``edges`` removed or worsened.
+
+        A batch *what-if* query: the view itself is not mutated (no
+        version bump, no cache invalidation), so a caller can probe
+        many removal sets against one base graph — the weather layer's
+        failure-set evaluation is the canonical consumer.
+
+        Args:
+            edges: iterable of ``(a, b)`` (full removal) or
+                ``(a, b, new_weight)`` with ``new_weight`` at least the
+                current weight.  Entries whose weight does not actually
+                change (already absent, or equal weight) are ignored;
+                an *improvement* is rejected — that is
+                :meth:`set_edge`'s delta-update territory.
+
+        Instead of re-solving the whole graph, only the sources whose
+        rows can change are restarted: source ``s`` is affected only
+        if some changed edge is tight on a shortest path from ``s``
+        (``d[s,a] + w == d[s,b]`` in either orientation, with a 1e-9
+        relative guard band so float association error can only cause
+        over-recomputation, never a stale row).  When no source is
+        affected the cached base distances are returned untouched;
+        otherwise, on sparse graphs, batched Dijkstra restarted from
+        just the affected sources recomputes exactly those rows
+        (bit-identical to the full sparse solve, whose rows are
+        independent per source).  Dense graphs — where the kernel's
+        full solve is Floyd-Warshall, which cannot restart per source
+        — fall back to one exact full solve of the modified weights.
+        Results are always exact; when the cached base distances come
+        from a kernel solve (rather than a chain of :meth:`set_edge`
+        delta updates), they are additionally bit-identical to
+        :meth:`set_edge`-then-:meth:`distances` — the weather
+        evaluator's CI gate rides on that.  Returns a read-only array.
+        """
+        base = self.distances()
+        changes: list[tuple[int, int, float, float]] = []
+        for edge in edges:
+            if len(edge) == 2:
+                a, b = edge
+                new = np.inf
+            else:
+                a, b, new = edge
+            a, b, new = int(a), int(b), float(new)
+            if not (0 <= a < self.n and 0 <= b < self.n) or a == b:
+                raise ValueError(f"invalid edge ({a}, {b}) for {self.n} nodes")
+            old = float(self._weights[a, b])
+            if new < old:
+                raise ValueError(
+                    f"edge ({a}, {b}): weight {new} improves on {old}; "
+                    "distances_with_edges_removed only removes/worsens "
+                    "(use set_edge for improvements)"
+                )
+            if not np.isfinite(old) or new == old:
+                continue  # already absent / unchanged: a no-op
+            changes.append((a, b, old, new))
+        if not changes:
+            return base
+        affected = np.zeros(self.n, dtype=bool)
+        for a, b, old, _ in changes:
+            da, db = base[:, a], base[:, b]
+            finite = np.isfinite(da) & np.isfinite(db)
+            tol = 1e-9 * np.maximum(1.0, np.maximum(np.abs(da), np.abs(db)))
+            tight = (da + old <= db + tol) | (db + old <= da + tol)
+            affected |= finite & tight
+        idx = np.flatnonzero(affected)
+        if idx.size == 0:
+            return base
+        weights = self._weights.copy()
+        for a, b, _, new in changes:
+            weights[a, b] = weights[b, a] = new
+        kernel = GraphKernel(weights)
+        # Branch on the *base* graph's density: if the base solve ran
+        # dense FW, its cached rows cannot be merged bitwise with
+        # per-source Dijkstra restarts — take the exact fallback (one
+        # full solve, same as set_edge-then-distances).  A base below
+        # the threshold keeps the modified graph below it too (edges
+        # are only removed or worsened, never added), so the sparse
+        # restart merges Dijkstra rows with Dijkstra rows.
+        if idx.size == self.n or self.kernel().density() >= DENSE_DENSITY_THRESHOLD:
+            return kernel.distances()
+        rows = kernel.distances_from(idx)
+        out = np.array(base)
+        out[idx, :] = rows
+        out.setflags(write=False)
+        return out
 
     def to_networkx(self, weight: str = "latency"):
         """Export the current graph as an undirected networkx graph.

@@ -1,9 +1,12 @@
 """Weather: precipitation fields, rain attenuation, failures, traces."""
 
 from .attenuation import (
+    CriticalRainRates,
+    critical_rain_rates,
     effective_path_km,
     hop_fails,
     path_attenuation_db,
+    path_attenuation_db_many,
     rain_coefficients,
     specific_attenuation_db_per_km,
 )
@@ -13,11 +16,18 @@ from .degradation import (
     graded_yearly_comparison,
     weather_stage_records,
 )
-from .failures import (
+from .evaluation import (
+    LinkHopArrays,
     YearlyStretchResult,
+    YearlyWeatherEvaluator,
+    link_hop_arrays,
+    link_hop_segments,
+    resolve_evaluator,
+    sample_interval_days,
+)
+from .failures import (
     distances_with_failures,
     failed_links,
-    link_hop_segments,
     yearly_stretch_analysis,
 )
 from .loss_traces import (
@@ -27,6 +37,7 @@ from .loss_traces import (
     synthesize_hft_trace,
 )
 from .precipitation import (
+    DAYS_PER_YEAR,
     EU_CLIMATE,
     US_CLIMATE,
     PrecipitationYear,
@@ -39,16 +50,25 @@ __all__ = [
     "graded_capacity_fraction",
     "graded_yearly_comparison",
     "weather_stage_records",
+    "CriticalRainRates",
+    "critical_rain_rates",
     "effective_path_km",
     "hop_fails",
     "path_attenuation_db",
+    "path_attenuation_db_many",
     "rain_coefficients",
     "specific_attenuation_db_per_km",
+    "LinkHopArrays",
     "YearlyStretchResult",
+    "YearlyWeatherEvaluator",
+    "link_hop_arrays",
+    "resolve_evaluator",
+    "sample_interval_days",
     "distances_with_failures",
     "failed_links",
     "link_hop_segments",
     "yearly_stretch_analysis",
+    "DAYS_PER_YEAR",
     "MINUTES_PER_TRADING_DAY",
     "PAPER_TRACE_MINUTES",
     "LossTrace",

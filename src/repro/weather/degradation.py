@@ -8,6 +8,13 @@ module implements that refinement: between a *soft* and a *hard* fade
 margin, the physical layer trades bandwidth for resilience (stepping
 down the modulation), so the link stays up — at reduced capacity — and
 only a hard-margin breach drops it.
+
+Both the binary and the graded pass run through one shared
+:class:`~repro.weather.evaluation.YearlyWeatherEvaluator` on one
+shared day sample (:func:`~repro.weather.evaluation.sample_interval_days`)
+with one ``frequency_ghz``, so the two models always evaluate the same
+physics over the same days — and split the evaluator's per-day storm
+fields and failure-set solve cache between them.
 """
 
 from __future__ import annotations
@@ -19,11 +26,10 @@ import numpy as np
 from ..core.topology import Topology
 from ..links.builder import LinkCatalog
 from ..towers.registry import TowerRegistry
-from .attenuation import path_attenuation_db
-from .failures import (
-    distances_with_failures,
-    link_hop_segments,
-    yearly_stretch_analysis,
+from .evaluation import (
+    YearlyWeatherEvaluator,
+    resolve_evaluator,
+    sample_interval_days,
 )
 from .precipitation import PrecipitationYear
 
@@ -77,67 +83,33 @@ def graded_yearly_comparison(
     hard_margin_db: float = 40.0,
     binary_margin_db: float = 30.0,
     seed: int = 7,
+    frequency_ghz: float | None = None,
+    evaluator: YearlyWeatherEvaluator | None = None,
 ) -> GradedComparison:
     """Run the paper's binary model and the graded refinement side by side.
 
     The graded model only drops links above the (higher) hard margin, so
     its latency statistics are no worse than the binary model's; the
-    cost is surfaced as the mean capacity-loss fraction.
+    cost is surfaced as the mean capacity-loss fraction.  Both passes
+    consume one day sample and one carrier frequency
+    (``None`` = 11 GHz) through the shared evaluator — they can never
+    desynchronize.  An injected ``evaluator``'s pinned context wins;
+    contradicting ``precipitation``/``frequency_ghz`` raise.
     """
-    precipitation = precipitation or PrecipitationYear()
-    binary = yearly_stretch_analysis(
-        topology,
-        catalog,
-        registry,
-        precipitation=precipitation,
-        n_intervals=n_intervals,
-        fade_margin_db=binary_margin_db,
-        seed=seed,
+    days = sample_interval_days(seed, n_intervals)
+    evaluator = resolve_evaluator(
+        topology, catalog, registry, precipitation, frequency_ghz, evaluator
     )
-    # Graded pass: same sampled days (same seed and count).
-    rng = np.random.default_rng(seed)
-    days = rng.choice(np.arange(1, 366), size=n_intervals, replace=n_intervals > 365)
-    segments = link_hop_segments(topology, catalog, registry)
-    design = topology.design
-    geo = design.geodesic_km
-    iu = np.triu_indices(design.n_sites, k=1)
-    valid = geo[iu] > 0
-
-    def stretches(dist: np.ndarray) -> np.ndarray:
-        return (dist[iu] / geo[iu])[valid]
-
-    best = stretches(topology.effective_distance_matrix())
-    per_interval = np.empty((n_intervals, int(valid.sum())))
-    capacity_losses = []
-    for k, day in enumerate(days):
-        failed: set[tuple[int, int]] = set()
-        for link, hops in segments.items():
-            if not hops:
-                continue
-            lats = np.array([h[0] for h in hops])
-            lons = np.array([h[1] for h in hops])
-            rain = precipitation.rain_rate_mm_h(int(day), lats, lons)
-            fractions = []
-            for (lat, lon, hop_km), r in zip(hops, rain):
-                att = path_attenuation_db(hop_km, float(r))
-                fractions.append(
-                    graded_capacity_fraction(att, soft_margin_db, hard_margin_db)
-                )
-            # A link's capacity is its weakest hop's; it fails only at 0.
-            link_fraction = min(fractions)
-            capacity_losses.append(1.0 - link_fraction)
-            if link_fraction <= 0.0:
-                failed.add(link)
-        if failed:
-            per_interval[k] = stretches(distances_with_failures(topology, failed))
-        else:
-            per_interval[k] = best
+    binary = evaluator.binary_year(days, fade_margin_db=binary_margin_db)
+    per_interval, capacity_loss = evaluator.graded_year(
+        days, soft_margin_db=soft_margin_db, hard_margin_db=hard_margin_db
+    )
     return GradedComparison(
         binary_p99=binary.p99,
         graded_p99=np.percentile(per_interval, 99, axis=0),
         binary_worst=binary.worst,
         graded_worst=per_interval.max(axis=0),
-        capacity_loss_fraction=float(np.mean(capacity_losses)),
+        capacity_loss_fraction=capacity_loss,
     )
 
 
@@ -149,6 +121,7 @@ def weather_stage_records(
     fade_margin_db: float = 30.0,
     seed: int = 7,
     graded: bool = False,
+    frequency_ghz: float = 11.0,
 ) -> list[dict]:
     """The yearly weather analysis as tidy records (the weather stage).
 
@@ -156,15 +129,14 @@ def weather_stage_records(
     median and 95th percentile; with ``graded`` the graded-degradation
     comparison adds a graded-p99 series and the mean capacity-loss
     fraction paid for keeping links up through modulation downshifts.
+    One evaluator serves both models, so the binary pass runs once and
+    the graded pass reuses its storm fields and solve cache.
     """
-    binary = yearly_stretch_analysis(
-        topology,
-        catalog,
-        registry,
-        n_intervals=n_intervals,
-        fade_margin_db=fade_margin_db,
-        seed=seed,
+    days = sample_interval_days(seed, n_intervals)
+    evaluator = YearlyWeatherEvaluator(
+        topology, catalog, registry, frequency_ghz=frequency_ghz
     )
+    binary = evaluator.binary_year(days, fade_margin_db=fade_margin_db)
     rows = [
         {
             "stage": "weather",
@@ -180,21 +152,15 @@ def weather_stage_records(
         )
     ]
     if graded:
-        comparison = graded_yearly_comparison(
-            topology,
-            catalog,
-            registry,
-            n_intervals=n_intervals,
-            binary_margin_db=fade_margin_db,
-            seed=seed,
-        )
+        per_interval, capacity_loss = evaluator.graded_year(days)
+        graded_p99 = np.percentile(per_interval, 99, axis=0)
         rows.append(
             {
                 "stage": "weather",
                 "series": "graded_p99",
-                "median": float(np.median(comparison.graded_p99)),
-                "p95": float(np.percentile(comparison.graded_p99, 95)),
-                "capacity_loss_fraction": comparison.capacity_loss_fraction,
+                "median": float(np.median(graded_p99)),
+                "p95": float(np.percentile(graded_p99, 95)),
+                "capacity_loss_fraction": capacity_loss,
             }
         )
     return rows

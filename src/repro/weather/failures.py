@@ -8,12 +8,15 @@ and per-pair stretch is recomputed.
 
 The yearly analysis reproduces Fig 7's CDFs: per city pair, the best
 (fair-weather) stretch, the 99th-percentile and worst stretch over the
-year, and the fiber-only baseline.
+year, and the fiber-only baseline.  The heavy lifting — vectorized
+failure detection against precomputed critical rain rates, one storm
+field per day, one solve per *distinct* failure set — lives in the
+shared :class:`~repro.weather.evaluation.YearlyWeatherEvaluator`;
+:func:`failed_links` and :func:`distances_with_failures` below are the
+single-interval reference path it is gated against.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,54 +24,14 @@ from ..core.topology import Topology
 from ..links.builder import LinkCatalog
 from ..towers.registry import TowerRegistry
 from .attenuation import path_attenuation_db
+from .evaluation import (  # noqa: F401  (re-exported: the public home moved)
+    YearlyStretchResult,
+    YearlyWeatherEvaluator,
+    link_hop_segments,
+    resolve_evaluator,
+    sample_interval_days,
+)
 from .precipitation import PrecipitationYear
-
-
-@dataclass(frozen=True)
-class YearlyStretchResult:
-    """Per-pair stretch statistics over a sampled year.
-
-    All arrays are flattened over the site pairs (i < j) with finite
-    geodesic separation.
-
-    Attributes:
-        best: fair-weather stretch per pair.
-        p99: 99th-percentile stretch per pair across intervals.
-        worst: worst stretch per pair.
-        fiber: fiber-only stretch per pair.
-        links_failed_per_interval: number of failed MW links per
-            sampled interval.
-    """
-
-    best: np.ndarray
-    p99: np.ndarray
-    worst: np.ndarray
-    fiber: np.ndarray
-    links_failed_per_interval: np.ndarray
-
-
-def link_hop_segments(
-    topology: Topology, catalog: LinkCatalog, registry: TowerRegistry
-) -> dict[tuple[int, int], list[tuple[float, float, float]]]:
-    """Per built link: (mid_lat, mid_lon, hop_km) of each tower hop."""
-    segments: dict[tuple[int, int], list[tuple[float, float, float]]] = {}
-    for link in sorted(topology.mw_links):
-        cand = catalog.link(*link)
-        if cand is None:
-            raise ValueError(f"link {link} missing from catalog")
-        hops = []
-        path = cand.tower_path
-        for u, v in zip(path[:-1], path[1:]):
-            a, b = registry[u], registry[v]
-            hops.append(
-                (
-                    (a.lat + b.lat) / 2.0,
-                    (a.lon + b.lon) / 2.0,
-                    a.point.distance_km(b.point),
-                )
-            )
-        segments[link] = hops
-    return segments
 
 
 def failed_links(
@@ -111,6 +74,13 @@ def distances_with_failures(
     the view's exact fallback answers with one batched kernel solve.
     With no failures the topology's memoized distances are reused
     as-is.  The returned array is read-only.
+
+    This is the single-shot reference path; when evaluating many
+    failure sets against one topology, use
+    :class:`~repro.weather.evaluation.YearlyWeatherEvaluator` (or
+    :meth:`~repro.graph.GraphView.distances_with_edges_removed`
+    directly), which memoizes per distinct set and restarts only the
+    affected sources.
     """
     design = topology.design
     if not failed:
@@ -130,46 +100,28 @@ def yearly_stretch_analysis(
     n_intervals: int = 365,
     fade_margin_db: float = 30.0,
     seed: int = 7,
+    frequency_ghz: float | None = None,
+    evaluator: YearlyWeatherEvaluator | None = None,
 ) -> YearlyStretchResult:
     """Reproduce Fig 7: stretch across all pairs over a sampled year.
 
     One randomly placed 30-minute interval per day is emulated by one
     storm-field sample per day (our fields are daily); ``n_intervals``
-    days are drawn uniformly from the year.
+    days are drawn uniformly from the 365-day year by
+    :func:`sample_interval_days`.
+
+    Args:
+        frequency_ghz: MW carrier frequency for the rain-fade physics
+            (``None`` means the default 11 GHz, or — with an injected
+            ``evaluator`` — its pinned frequency).
+        evaluator: an existing
+            :class:`~repro.weather.evaluation.YearlyWeatherEvaluator`
+            to reuse (its storm fields and failure-set solve cache are
+            shared across calls).  Its pinned context wins; passing a
+            contradicting ``precipitation``/``frequency_ghz`` raises.
     """
-    if n_intervals <= 0:
-        raise ValueError("need at least one interval")
-    precipitation = precipitation or PrecipitationYear()
-    rng = np.random.default_rng(seed)
-    days = rng.choice(np.arange(1, 366), size=n_intervals, replace=n_intervals > 365)
-
-    design = topology.design
-    geo = design.geodesic_km
-    iu = np.triu_indices(design.n_sites, k=1)
-    valid = geo[iu] > 0
-
-    def stretches(dist: np.ndarray) -> np.ndarray:
-        return (dist[iu] / geo[iu])[valid]
-
-    best = stretches(topology.effective_distance_matrix())
-    fiber = stretches(design.fiber_km)
-    segments = link_hop_segments(topology, catalog, registry)
-
-    per_interval = np.empty((n_intervals, valid.sum()))
-    n_failed = np.zeros(n_intervals, dtype=int)
-    for k, day in enumerate(days):
-        failed = failed_links(
-            segments, precipitation, int(day), fade_margin_db=fade_margin_db
-        )
-        n_failed[k] = len(failed)
-        if failed:
-            per_interval[k] = stretches(distances_with_failures(topology, failed))
-        else:
-            per_interval[k] = best
-    return YearlyStretchResult(
-        best=best,
-        p99=np.percentile(per_interval, 99, axis=0),
-        worst=per_interval.max(axis=0),
-        fiber=fiber,
-        links_failed_per_interval=n_failed,
+    days = sample_interval_days(seed, n_intervals)
+    evaluator = resolve_evaluator(
+        topology, catalog, registry, precipitation, frequency_ghz, evaluator
     )
+    return evaluator.binary_year(days, fade_margin_db=fade_margin_db)

@@ -22,6 +22,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: The synthetic year is exactly 365 days (no leap day): the paper's
+#: July 2015 - June 2016 window is sampled as days 1..365, and every
+#: consumer — the interval sampler, the storm-field generator, the
+#: failure analyses — shares this one contract.
+DAYS_PER_YEAR = 365
+
 
 @dataclass(frozen=True)
 class StormCell:
@@ -84,9 +90,17 @@ class PrecipitationYear:
         return 1.0 + self.climate.seasonal_amplitude * np.cos(phase)
 
     def storms_for_day(self, day_of_year: int) -> list[StormCell]:
-        """The storm cells active on ``day_of_year`` (1-365)."""
-        if not 1 <= day_of_year <= 366:
-            raise ValueError("day of year must be in 1..366")
+        """The storm cells active on ``day_of_year`` (1..365).
+
+        The synthetic year has no leap day (:data:`DAYS_PER_YEAR`); day
+        366 is rejected rather than silently generating a field the
+        interval sampler can never draw.
+        """
+        if not 1 <= day_of_year <= DAYS_PER_YEAR:
+            raise ValueError(
+                f"day of year must be in 1..{DAYS_PER_YEAR} "
+                "(the synthetic year has no leap day)"
+            )
         rng = np.random.default_rng(self.seed * 1000 + day_of_year)
         clim = self.climate
         mean_storms = clim.storms_per_day * self._seasonal_factor(day_of_year)
@@ -132,3 +146,28 @@ class PrecipitationYear:
                 rate, cell.peak_mm_h * np.exp(-((dist / cell.radius_km) ** 2))
             )
         return rate
+
+    def rain_rate_mm_h_many(self, days, lats, lons) -> np.ndarray:
+        """Rain rates at the query points across many days at once.
+
+        Builds each distinct day's storm field exactly once, however
+        many points are queried and however often a day repeats in
+        ``days`` — the bulk entry point for the yearly analyses, which
+        previously regenerated the field once per link per day.
+
+        Args:
+            days: sequence of days of year (1..365; repeats allowed).
+            lats / lons: query point coordinates, one rate per point.
+
+        Returns:
+            Array of shape ``(len(days), n_points)``; row ``i`` is
+            bit-identical to ``rain_rate_mm_h(days[i], lats, lons)``.
+        """
+        days = np.atleast_1d(np.asarray(days, dtype=int))
+        lats = np.atleast_1d(np.asarray(lats, dtype=float))
+        lons = np.atleast_1d(np.asarray(lons, dtype=float))
+        unique_days, inverse = np.unique(days, return_inverse=True)
+        per_day = np.empty((unique_days.size, lats.size))
+        for i, day in enumerate(unique_days):
+            per_day[i] = self.rain_rate_mm_h(int(day), lats, lons)
+        return per_day[inverse]

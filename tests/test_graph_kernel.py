@@ -475,3 +475,122 @@ class TestNoDenseFwOutsideKernel:
             "dense FW call sites outside the graph kernel: "
             + ", ".join(offenders)
         )
+
+
+class TestBatchRemoval:
+    """GraphView.distances_with_edges_removed: the what-if batch query."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sparse_matches_full_solve(self, seed):
+        w = random_weights(30, 0.12, seed)
+        view = GraphView(w)
+        rng = np.random.default_rng(seed + 50)
+        iu = np.triu_indices(30, k=1)
+        present = [
+            (int(a), int(b))
+            for a, b in zip(*iu)
+            if np.isfinite(w[a, b])
+        ]
+        removed = [present[i] for i in rng.choice(len(present), 4, replace=False)]
+        result = view.distances_with_edges_removed(removed)
+        modified = w.copy()
+        for a, b in removed:
+            modified[a, b] = modified[b, a] = np.inf
+        expected = GraphKernel(modified).distances()
+        assert np.array_equal(result, expected)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_dense_matches_exact_fallback(self, seed):
+        w = random_weights(20, 0.9, seed)
+        view = GraphView(w)
+        removed = [(0, 1), (2, 5, float(w[2, 5]) * 3.0)]
+        result = view.distances_with_edges_removed(removed)
+        clone = GraphView(w)
+        clone.set_edge(0, 1, np.inf)
+        clone.set_edge(2, 5, float(w[2, 5]) * 3.0)
+        assert np.array_equal(result, clone.distances())
+
+    def test_worsening_triples_match_set_edge(self):
+        w = random_weights(25, 0.15, 7)
+        view = GraphView(w)
+        worse = [(0, 1, float(w[0, 1]) * 2.0), (3, 4, float(w[3, 4]) + 10.0)]
+        result = view.distances_with_edges_removed(worse)
+        modified = w.copy()
+        for a, b, nw in worse:
+            modified[a, b] = modified[b, a] = nw
+        assert np.allclose(result, GraphKernel(modified).distances(), rtol=1e-12)
+
+    def test_view_not_mutated(self):
+        w = random_weights(15, 0.3, 3)
+        view = GraphView(w)
+        base = view.distances()
+        version = view.version
+        view.distances_with_edges_removed([(0, 1), (1, 2)])
+        assert view.version == version
+        assert view.weight(0, 1) == w[0, 1]
+        assert view.distances() is base
+
+    def test_noop_edges_return_base(self):
+        w = random_weights(15, 0.3, 4)
+        # Pick an absent pair: removing it is a no-op.
+        iu = np.triu_indices(15, k=1)
+        absent = next(
+            (int(a), int(b)) for a, b in zip(*iu) if not np.isfinite(w[a, b])
+        )
+        view = GraphView(w)
+        base = view.distances()
+        same_weight = (0, 1, float(w[0, 1]))
+        assert view.distances_with_edges_removed([absent, same_weight]) is base
+        assert view.distances_with_edges_removed([]) is base
+
+    def test_improvement_rejected(self):
+        w = random_weights(15, 0.3, 5)
+        view = GraphView(w)
+        with pytest.raises(ValueError, match="improves"):
+            view.distances_with_edges_removed([(0, 1, float(w[0, 1]) / 2.0)])
+
+    def test_invalid_edge_rejected(self):
+        view = GraphView(random_weights(10, 0.3, 6))
+        with pytest.raises(ValueError):
+            view.distances_with_edges_removed([(0, 99)])
+        with pytest.raises(ValueError):
+            view.distances_with_edges_removed([(3, 3)])
+
+    def test_result_read_only(self):
+        w = random_weights(20, 0.15, 8)
+        view = GraphView(w)
+        result = view.distances_with_edges_removed([(0, 1)])
+        with pytest.raises(ValueError):
+            result[0, 0] = 1.0
+
+    def test_dense_base_sparse_modified_uses_exact_fallback(self):
+        """Removals that cross the density threshold stay bit-exact.
+
+        A base graph just above DENSE_DENSITY_THRESHOLD solves with
+        dense FW; removing edges can push the *modified* graph below
+        the threshold, where merging FW base rows with Dijkstra
+        restarts would drift by ulps — the branch must follow the base
+        solve.
+        """
+        from repro.graph import DENSE_DENSITY_THRESHOLD
+
+        w = random_weights(20, 0.27, 11)
+        view = GraphView(w)
+        assert view.kernel().density() >= DENSE_DENSITY_THRESHOLD
+        iu = np.triu_indices(20, k=1)
+        present = [
+            (int(a), int(b))
+            for a, b in zip(*iu)
+            if np.isfinite(w[a, b]) and a + 1 != b  # keep the chain
+        ]
+        n_pairs = len(iu[0])
+        excess = view.kernel().edge_count() - int(
+            DENSE_DENSITY_THRESHOLD * n_pairs
+        )
+        removed = present[: excess + 2]
+        result = view.distances_with_edges_removed(removed)
+        clone = GraphView(w)
+        for a, b in removed:
+            clone.set_edge(a, b, np.inf)
+        assert clone.kernel().density() < DENSE_DENSITY_THRESHOLD
+        assert np.array_equal(result, clone.distances())

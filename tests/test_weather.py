@@ -9,6 +9,7 @@ from repro.weather import (
     PrecipitationYear,
     US_CLIMATE,
     effective_path_km,
+    graded_yearly_comparison,
     hop_fails,
     path_attenuation_db,
     rain_coefficients,
@@ -207,3 +208,277 @@ class TestLossTraces:
     def test_validation(self):
         with pytest.raises(ValueError):
             synthesize_hft_trace(n_minutes=0)
+
+
+class TestCriticalRainRate:
+    """The inverted failure thresholds must classify exactly like the rule."""
+
+    def test_classification_matches_attenuation_rule(self):
+        from repro.weather import critical_rain_rates, path_attenuation_db_many
+
+        hops = np.array([0.5, 2.0, 8.0, 20.0, 45.0, 80.0])
+        rains = np.concatenate(
+            [np.linspace(0.0, 150.0, 1201),
+             np.random.default_rng(0).lognormal(1.7, 1.25, 500)]
+        )
+        for margin in (20.0, 30.0, 40.0):
+            for freq in (7.0, 11.0, 15.0):
+                crit = critical_rain_rates(hops, margin, freq)
+                for i, hop in enumerate(hops):
+                    att = path_attenuation_db_many(hop, rains, freq)
+                    per_hop = type(crit)(
+                        rise=crit.rise[i], dip=crit.dip[i], recovery=crit.recovery[i]
+                    )
+                    assert np.array_equal(per_hop.failed(rains), att > margin), (
+                        f"hop {hop} km, margin {margin} dB, {freq} GHz"
+                    )
+
+    def test_classification_in_the_nonmonotone_dip(self):
+        """Attenuation peaks below the 100 mm/h cap, dips, then rises.
+
+        Regression: a single threshold misclassifies rains in the dip
+        (e.g. a 34 km hop at 13 GHz straddles a 40 dB margin there);
+        the piecewise rise/dip/recovery thresholds must match the
+        direct rule on a dense grid through the whole band.
+        """
+        from repro.weather import critical_rain_rates, path_attenuation_db_many
+
+        rains = np.concatenate(
+            [np.linspace(60.0, 160.0, 40001), np.linspace(0.0, 60.0, 2001)]
+        )
+        cases = [
+            (34.15, 40.0, 13.0),
+            (40.0, 30.875, 11.0),
+            (80.0, 35.0, 11.0),
+            (60.0, 38.0, 13.0),
+        ]
+        for hop, margin, freq in cases:
+            crit = critical_rain_rates(np.array([hop]), margin, freq)
+            att = path_attenuation_db_many(hop, rains, freq)
+            direct = att > margin
+            assert np.array_equal(crit.failed(rains), direct), (
+                f"hop {hop} km, margin {margin} dB, {freq} GHz: "
+                f"{(crit.failed(rains) != direct).sum()} misclassified"
+            )
+
+    def test_vectorized_attenuation_bitwise_equals_scalar(self):
+        from repro.weather import path_attenuation_db_many
+
+        rng = np.random.default_rng(3)
+        hops = rng.uniform(0.1, 90.0, 64)
+        rains = rng.lognormal(1.7, 1.25, 64)
+        many = path_attenuation_db_many(hops, rains, 11.0)
+        for h, r, a in zip(hops, rains, many):
+            assert a == path_attenuation_db(float(h), float(r), 11.0)
+
+    def test_unfailable_hop_never_fails(self):
+        from repro.weather import critical_rain_rates
+
+        crit = critical_rain_rates(np.array([0.0, 0.05]), 40.0)
+        assert not crit.failed(np.linspace(0.0, 900.0, 500)[:, None]).any()
+
+    def test_margin_validation(self):
+        from repro.weather import critical_rain_rates
+
+        with pytest.raises(ValueError):
+            critical_rain_rates(np.array([10.0]), 0.0)
+
+
+class TestBulkRain:
+    def test_many_matches_stacked_single_days(self):
+        year = PrecipitationYear(seed=5)
+        lats = np.linspace(28, 47, 25)
+        lons = np.linspace(-118, -72, 25)
+        days = [10, 100, 100, 250, 10]
+        bulk = year.rain_rate_mm_h_many(days, lats, lons)
+        assert bulk.shape == (5, 25)
+        for row, day in zip(bulk, days):
+            assert np.array_equal(row, year.rain_rate_mm_h(day, lats, lons))
+
+    def test_year_has_365_days(self):
+        from repro.weather import DAYS_PER_YEAR
+
+        year = PrecipitationYear()
+        assert DAYS_PER_YEAR == 365
+        assert year.storms_for_day(365) is not None
+        with pytest.raises(ValueError):
+            year.storms_for_day(366)
+        with pytest.raises(ValueError):
+            year.rain_rate_mm_h_many([1, 366], [30.0], [-90.0])
+
+
+class TestIntervalSampler:
+    def test_shared_sampler_recipe(self):
+        from repro.weather import sample_interval_days
+
+        days = sample_interval_days(7, 120)
+        assert days.shape == (120,)
+        assert days.min() >= 1 and days.max() <= 365
+        assert len(np.unique(days)) == 120  # no replacement within a year
+        assert np.array_equal(days, sample_interval_days(7, 120))
+
+    def test_oversampling_replaces(self):
+        from repro.weather import sample_interval_days
+
+        days = sample_interval_days(1, 400)
+        assert days.shape == (400,)
+        assert days.max() <= 365
+
+    def test_validation(self):
+        from repro.weather import sample_interval_days
+
+        with pytest.raises(ValueError):
+            sample_interval_days(7, 0)
+
+
+class TestWeatherEvaluator:
+    @pytest.fixture(scope="class")
+    def topology(self, small_us_scenario):
+        from repro.core import solve_heuristic
+
+        sc = small_us_scenario
+        return solve_heuristic(sc.design_input(), 800.0, ilp_refinement=False).topology
+
+    def test_binary_year_bitwise_matches_reference_loop(
+        self, small_us_scenario, topology
+    ):
+        from repro.weather import (
+            YearlyWeatherEvaluator,
+            link_hop_segments,
+            sample_interval_days,
+        )
+        from repro.weather.failures import distances_with_failures, failed_links
+
+        sc = small_us_scenario
+        precipitation = PrecipitationYear()
+        days = sample_interval_days(3, 40)
+        segments = link_hop_segments(topology, sc.catalog, sc.registry)
+        evaluator = YearlyWeatherEvaluator(
+            topology, sc.catalog, sc.registry, precipitation=precipitation
+        )
+        result = evaluator.binary_year(days, fade_margin_db=30.0)
+        geo = topology.design.geodesic_km
+        iu = np.triu_indices(topology.design.n_sites, k=1)
+        valid = geo[iu] > 0
+        for k, day in enumerate(days):
+            failed = failed_links(segments, precipitation, int(day))
+            assert result.links_failed_per_interval[k] == len(failed)
+            expected = (
+                distances_with_failures(topology, failed)[iu] / geo[iu]
+            )[valid]
+            row = evaluator.stretches_for(frozenset(failed))
+            assert np.array_equal(row, expected)
+
+    def test_failure_set_memoization(self, small_us_scenario, topology):
+        from repro.weather import YearlyWeatherEvaluator, sample_interval_days
+
+        sc = small_us_scenario
+        evaluator = YearlyWeatherEvaluator(topology, sc.catalog, sc.registry)
+        days = sample_interval_days(3, 50)
+        first = evaluator.binary_year(days)
+        solves = evaluator.solve_count
+        assert solves <= (first.links_failed_per_interval > 0).sum()
+        # A repeated pass re-serves every interval from the cache ...
+        second = evaluator.binary_year(days)
+        assert evaluator.solve_count == solves
+        # ... with bit-identical distance matrices (the same arrays).
+        assert np.array_equal(first.p99, second.p99)
+        assert np.array_equal(first.worst, second.worst)
+        sets = [frozenset()] + [
+            s for s in evaluator._dist_cache if s
+        ]
+        for failure_set in sets:
+            assert evaluator.distances_for(failure_set) is evaluator.distances_for(
+                failure_set
+            )
+
+    def test_graded_elementwise_never_worse_than_binary(
+        self, small_us_scenario, topology
+    ):
+        """The paper's claim, per pair: graded can only improve the numbers."""
+        sc = small_us_scenario
+        cmp = graded_yearly_comparison(
+            topology, sc.catalog, sc.registry, n_intervals=60, seed=11
+        )
+        assert np.all(cmp.graded_p99 <= cmp.binary_p99 + 1e-12)
+        assert np.all(cmp.graded_worst <= cmp.binary_worst + 1e-12)
+
+    def test_graded_binary_pass_shares_sampler_and_frequency(
+        self, small_us_scenario, topology
+    ):
+        """Regression: binary-inside-graded == standalone binary, bitwise."""
+        from repro.weather import yearly_stretch_analysis
+
+        sc = small_us_scenario
+        for freq in (7.0, 15.0):
+            cmp = graded_yearly_comparison(
+                topology, sc.catalog, sc.registry,
+                n_intervals=30, seed=9, frequency_ghz=freq,
+            )
+            solo = yearly_stretch_analysis(
+                topology, sc.catalog, sc.registry,
+                n_intervals=30, seed=9, frequency_ghz=freq,
+            )
+            assert np.array_equal(cmp.binary_p99, solo.p99)
+            assert np.array_equal(cmp.binary_worst, solo.worst)
+            assert np.all(cmp.graded_p99 <= cmp.binary_p99 + 1e-12)
+            assert np.all(cmp.graded_worst <= cmp.binary_worst + 1e-12)
+
+    def test_frequency_threads_through_both_models(
+        self, small_us_scenario, topology
+    ):
+        """Regression: the graded physics follow the carrier frequency."""
+        from repro.weather import yearly_stretch_analysis
+
+        sc = small_us_scenario
+        low = graded_yearly_comparison(
+            topology, sc.catalog, sc.registry,
+            n_intervals=40, seed=3, frequency_ghz=7.0,
+        )
+        high = graded_yearly_comparison(
+            topology, sc.catalog, sc.registry,
+            n_intervals=40, seed=3, frequency_ghz=15.0,
+        )
+        # More attenuation at 15 GHz: more capacity lost to downshifts
+        # and at least as many binary failures.
+        assert high.capacity_loss_fraction > low.capacity_loss_fraction
+        low_fail = yearly_stretch_analysis(
+            topology, sc.catalog, sc.registry,
+            n_intervals=40, seed=3, frequency_ghz=7.0,
+        ).links_failed_per_interval.sum()
+        high_fail = yearly_stretch_analysis(
+            topology, sc.catalog, sc.registry,
+            n_intervals=40, seed=3, frequency_ghz=15.0,
+        ).links_failed_per_interval.sum()
+        assert high_fail >= low_fail
+
+    def test_injected_evaluator_conflicts_rejected(
+        self, small_us_scenario, topology
+    ):
+        from repro.weather import (
+            YearlyWeatherEvaluator,
+            yearly_stretch_analysis,
+        )
+
+        sc = small_us_scenario
+        ev = YearlyWeatherEvaluator(
+            topology, sc.catalog, sc.registry, frequency_ghz=15.0
+        )
+        # The pinned context wins when the caller stays silent ...
+        result = yearly_stretch_analysis(
+            topology, sc.catalog, sc.registry,
+            n_intervals=5, seed=2, evaluator=ev,
+        )
+        assert result.links_failed_per_interval.shape == (5,)
+        # ... and contradicting it is an error, not a silent override.
+        with pytest.raises(ValueError, match="pinned to 15.0 GHz"):
+            yearly_stretch_analysis(
+                topology, sc.catalog, sc.registry,
+                n_intervals=5, seed=2, frequency_ghz=11.0, evaluator=ev,
+            )
+        with pytest.raises(ValueError, match="precipitation"):
+            graded_yearly_comparison(
+                topology, sc.catalog, sc.registry,
+                precipitation=PrecipitationYear(seed=99),
+                n_intervals=5, seed=2, evaluator=ev,
+            )
