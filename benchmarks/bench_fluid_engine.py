@@ -1,0 +1,285 @@
+"""Fluid-engine gate: vectorized commodity-aggregate solver vs the
+scalar reference, at million-flow scale.
+
+PR-6 rewrote progressive filling as whole-array numpy/scipy work over
+path commodities (flows sharing a path collapse into one sparse
+incidence row; demand-limited flows freeze in bulk through one globally
+demand-sorted array).  This benchmark pins three promises:
+
+1. **Scale** — on a ~10^5-flow continental metro/core workload (240
+   dual-homed metros behind a 24-core full mesh, heavy-tail demands
+   quantized to 256 service tiers, pushed past saturation), the
+   vectorized solver must be >= 50x the scalar reference.
+2. **Exactness** — per-flow rates must match the (fixed) scalar solver
+   to <= 1e-6 relative, on the big workload and on small random ones;
+   the vectorization is an optimization, not a remodelling.
+3. **Fidelity** — behind ``run_udp_experiment``, the fluid engine's
+   mean per-flow throughput must stay within 10% of the packet engine
+   on a congested US-topology workload (the bar that makes the fast
+   path usable for Fig 5/11/13-class sweeps).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import solve_heuristic
+from repro.netsim import FlowMonitor, Network, Simulator, UdpFlow
+from repro.netsim.experiments import build_edge_specs, kept_flow_shares
+from repro.netsim.fluid import (
+    FluidFlow,
+    max_min_rates,
+    max_min_rates_vectorized,
+    solve_fluid,
+)
+from repro.scenarios import us_scenario
+
+from _support import report, write_bench_json
+
+#: Acceptance thresholds (see module docstring).
+MIN_VECTORIZED_SPEEDUP = 50.0
+MAX_RATE_PARITY_REL = 1e-6
+MAX_PACKET_PARITY_ERROR = 0.10
+
+#: Metro/core aggregate workload shape.
+N_CORE = 24
+N_METRO = 240
+N_FLOWS = 100_000
+N_TIERS = 256
+MEAN_DEMAND_BPS = 2e7  # overloads the 10G metro uplinks
+SEED = 7
+
+#: Packet-parity workload (mirrors bench_netsim_kernel's Fig 5 regime).
+N_SITES = 15
+BUDGET_TOWERS = 600.0
+AGGREGATE_GBPS = 50.0
+LOAD_FRACTION = 1.3
+RATE_SCALE = 2e-3
+DURATION_S = 1.0
+CAPACITY_MODE = "tight"
+
+
+def build_metro_core_workload():
+    """~1e5 flows over a two-tier continental aggregate, past saturation.
+
+    Demands are heavy-tail (Pareto 1.3) but quantized onto 256 service
+    tiers — the realistic shape for commodity aggregates (users buy
+    plans, not continuous rates), and the regime where the scalar
+    solver's batch demand freezes keep its round count CI-runnable.
+    """
+    rng = np.random.default_rng(SEED)
+    cores = [f"core{i}" for i in range(N_CORE)]
+    capacities = {}
+    for i, u in enumerate(cores):
+        for v in cores[i + 1:]:
+            capacities[(u, v)] = 40e9
+            capacities[(v, u)] = 40e9
+    homes = {}
+    for m in range(N_METRO):
+        metro = f"metro{m}"
+        h1 = cores[m % N_CORE]
+        h2 = cores[(m * 7 + 3) % N_CORE]
+        if h2 == h1:
+            h2 = cores[(m * 7 + 4) % N_CORE]
+        homes[metro] = (h1, h2)
+        for h in (h1, h2):
+            capacities[(metro, h)] = 10e9
+            capacities[(h, metro)] = 10e9
+
+    raw = (rng.pareto(1.3, size=N_FLOWS) + 1.0) * MEAN_DEMAND_BPS
+    tier_rates = np.quantile(raw, np.linspace(0, 1, N_TIERS + 1)[1:])
+    tiers = tier_rates[
+        np.searchsorted(tier_rates, raw).clip(max=N_TIERS - 1)
+    ]
+
+    metros = list(homes)
+    src = rng.integers(0, N_METRO, size=N_FLOWS)
+    dst = rng.integers(0, N_METRO, size=N_FLOWS)
+    pick = rng.integers(0, 2, size=(N_FLOWS, 2))
+    flows = []
+    for i in range(N_FLOWS):
+        s, d = metros[src[i]], metros[dst[i]]
+        if s == d:
+            d = metros[(dst[i] + 1) % N_METRO]
+        hs = homes[s][pick[i, 0]]
+        hd = homes[d][pick[i, 1]]
+        path = (s, hs, d) if hs == hd else (s, hs, hd, d)
+        flows.append(FluidFlow(i, path, float(tiers[i])))
+    return capacities, flows
+
+
+def small_random_workload(seed):
+    rng = np.random.default_rng(seed)
+    nodes = [f"n{i}" for i in range(10)]
+    capacities = {}
+    for i in range(10):
+        capacities[(nodes[i], nodes[(i + 1) % 10])] = float(rng.uniform(1, 20))
+        capacities[(nodes[(i + 1) % 10], nodes[i])] = float(rng.uniform(1, 20))
+    flows = []
+    for fid in range(40):
+        start = int(rng.integers(0, 10))
+        hops = int(rng.integers(1, 4))
+        path = tuple(nodes[(start + j) % 10] for j in range(hops + 1))
+        flows.append(FluidFlow(fid, path, float(rng.uniform(0.1, 10.0))))
+    return capacities, flows
+
+
+def worst_rel_diff(a: dict, b: dict) -> float:
+    ids = list(a)
+    x = np.array([a[i] for i in ids])
+    y = np.array([b[i] for i in ids])
+    return float(np.max(np.abs(x - y) / np.maximum(np.abs(y), 1e-9)))
+
+
+def run_scale_gate(timing_rounds: int = 3):
+    capacities, flows = build_metro_core_workload()
+    vec_times = []
+    vec_rates = None
+    for _ in range(timing_rounds):
+        t0 = time.perf_counter()
+        vec_rates = max_min_rates_vectorized(capacities, flows)
+        vec_times.append(time.perf_counter() - t0)
+    vectorized_s = float(np.median(vec_times))
+
+    t0 = time.perf_counter()
+    scalar_rates = max_min_rates(capacities, flows)
+    scalar_s = time.perf_counter() - t0
+
+    offered = sum(f.offered_bps for f in flows)
+    return {
+        "n_links": len(capacities),
+        "n_flows": len(flows),
+        "n_commodities": len({f.path for f in flows}),
+        "scalar_s": scalar_s,
+        "vectorized_s": vectorized_s,
+        "speedup": scalar_s / vectorized_s,
+        "carried_fraction": sum(vec_rates.values()) / offered,
+        "scale_parity_rel": worst_rel_diff(vec_rates, scalar_rates),
+    }
+
+
+def run_small_parity_gate(n_seeds: int = 6) -> float:
+    worst = 0.0
+    for seed in range(n_seeds):
+        capacities, flows = small_random_workload(seed)
+        vec = max_min_rates_vectorized(capacities, flows)
+        sca = max_min_rates(capacities, flows)
+        worst = max(worst, worst_rel_diff(vec, sca))
+    return worst
+
+
+def run_packet_parity_gate():
+    scenario = us_scenario(n_sites=N_SITES)
+    topology = solve_heuristic(
+        scenario.design_input(), BUDGET_TOWERS, ilp_refinement=False
+    ).topology
+    specs = build_edge_specs(
+        topology, AGGREGATE_GBPS, rate_scale=RATE_SCALE,
+        capacity_mode=CAPACITY_MODE,
+    )
+    node_names = {s.a for s in specs} | {s.b for s in specs}
+    kept, kept_mass = kept_flow_shares(
+        topology.routed_paths(), topology.design.traffic, node_names, 2e-4
+    )
+    offered_bps = AGGREGATE_GBPS * 1e9 * RATE_SCALE * LOAD_FRACTION
+    flows = [
+        (fid, path, offered_bps * h / kept_mass)
+        for fid, (_pair, path, h) in enumerate(kept)
+    ]
+
+    sim = Simulator()
+    net = Network.from_edges(sim, specs)
+    monitor = FlowMonitor(sim)
+    for link in net.links.values():
+        monitor.watch_link(link)
+    for fid, path, rate in flows:
+        UdpFlow(
+            sim, net, monitor, fid, path, rate_bps=rate,
+            seed=SEED * 100_003 + fid,
+        ).start()
+    sim.run(until=DURATION_S)
+    packet_mean = monitor.mean_flow_throughput_bps(DURATION_S)
+
+    fluid = solve_fluid(
+        specs, [FluidFlow(fid, path, rate) for fid, path, rate in flows]
+    )
+    fluid_mean = fluid.mean_rate_bps
+    return {
+        "parity_n_flows": len(flows),
+        "packet_mean_bps": packet_mean,
+        "fluid_mean_bps": fluid_mean,
+        "packet_parity_error": abs(fluid_mean - packet_mean) / packet_mean,
+    }
+
+
+def bench_fluid_engine(benchmark=None):
+    scale = run_scale_gate()
+    small_parity = run_small_parity_gate()
+    packet = run_packet_parity_gate()
+
+    rows = [
+        f"workload: {scale['n_flows']} flows ({scale['n_commodities']} "
+        f"path commodities) over {scale['n_links']} directed links, "
+        f"saturated (carried {scale['carried_fraction']:.1%} of offered)",
+        "solver                    runtime_s   speedup",
+        f"scalar reference          {scale['scalar_s']:9.3f}  {1.0:7.1f}x",
+        f"vectorized commodity      {scale['vectorized_s']:9.3f}  "
+        f"{scale['speedup']:7.1f}x",
+        f"rate parity vs scalar: {scale['scale_parity_rel']:.3g} rel "
+        f"(scale), {small_parity:.3g} rel (small random; "
+        f"bar {MAX_RATE_PARITY_REL:.0e})",
+        f"fluid vs packet mean throughput: "
+        f"{packet['fluid_mean_bps'] / 1e3:.1f} vs "
+        f"{packet['packet_mean_bps'] / 1e3:.1f} kbps "
+        f"({packet['packet_parity_error']:.2%} error, "
+        f"bar {MAX_PACKET_PARITY_ERROR:.0%})",
+    ]
+    assert scale["speedup"] >= MIN_VECTORIZED_SPEEDUP, (
+        f"vectorized solver speedup {scale['speedup']:.1f}x below the "
+        f"{MIN_VECTORIZED_SPEEDUP:.0f}x acceptance bar"
+    )
+    assert scale["scale_parity_rel"] <= MAX_RATE_PARITY_REL, (
+        f"scale-workload rate parity {scale['scale_parity_rel']:.3g} "
+        f"exceeds {MAX_RATE_PARITY_REL:.0e} relative"
+    )
+    assert small_parity <= MAX_RATE_PARITY_REL, (
+        f"small-workload rate parity {small_parity:.3g} exceeds "
+        f"{MAX_RATE_PARITY_REL:.0e} relative"
+    )
+    assert packet["packet_parity_error"] <= MAX_PACKET_PARITY_ERROR, (
+        f"fluid vs packet mean throughput off by "
+        f"{packet['packet_parity_error']:.1%} (> {MAX_PACKET_PARITY_ERROR:.0%})"
+    )
+    report("fluid_engine", rows)
+    write_bench_json(
+        "netsim",
+        {
+            "benchmark": "fluid_engine",
+            "workload": {
+                "n_core": N_CORE,
+                "n_metro": N_METRO,
+                "n_flows": scale["n_flows"],
+                "n_commodities": scale["n_commodities"],
+                "n_links": scale["n_links"],
+                "n_tiers": N_TIERS,
+                "carried_fraction": round(scale["carried_fraction"], 4),
+            },
+            "scalar_s": round(scale["scalar_s"], 4),
+            "vectorized_s": round(scale["vectorized_s"], 4),
+            "vectorized_speedup": round(scale["speedup"], 1),
+            "scale_parity_rel": scale["scale_parity_rel"],
+            "small_parity_rel": small_parity,
+            "packet_parity_error": round(packet["packet_parity_error"], 4),
+        },
+    )
+    if benchmark is not None:
+        capacities, flows = build_metro_core_workload()
+        benchmark.pedantic(
+            lambda: max_min_rates_vectorized(capacities, flows),
+            rounds=1,
+            iterations=1,
+        )
+
+
+if __name__ == "__main__":
+    bench_fluid_engine()

@@ -189,13 +189,19 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
             engine=args.engine,
             duration_s=args.duration,
             seed=args.flow_seed,
+            demand_model=args.demand,
+            demand_hour_utc=args.hour_utc,
+            demand_seed=args.demand_seed,
+            users_millions=args.users_millions,
+            transport=args.transport,
         ),
     )
     run = run_experiment(spec, store=_store_from_args(args))
     scenario = run.artifacts["substrate"]
     print(f"scenario:  {scenario.name} ({scenario.n_sites} sites, "
           f"budget {args.budget:.0f} towers)")
-    print(f"engine:    {args.engine}")
+    print(f"engine:    {args.engine} ({args.transport}, "
+          f"{args.demand} demand)")
     print("load  mean_delay_ms  loss_rate  max_link_util")
     for row in run.records:
         if row["stage"] != "netsim":
@@ -389,7 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=800.0)
     p.add_argument("--gbps", type=float, default=100.0,
                    help="design aggregate the network is provisioned for")
-    from .exp.spec import ENGINES
+    from .exp.spec import DEMAND_MODELS, ENGINES, TRANSPORTS
 
     p.add_argument(
         "--engine",
@@ -403,6 +409,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated seconds per load point (packet engine)")
     p.add_argument("--flow-seed", type=int, default=0,
                    help="Poisson-arrival seed (packet engine)")
+    p.add_argument(
+        "--transport",
+        default="udp",
+        choices=TRANSPORTS,
+        help="udp: open-loop offers; tcp: Mathis macro-model "
+             "(fluid engine only)",
+    )
+    p.add_argument(
+        "--demand",
+        default="design",
+        choices=DEMAND_MODELS,
+        help="design: scale the design matrix; users: bottom-up "
+             "diurnal + heavy-tail per-city demand",
+    )
+    p.add_argument("--hour-utc", type=float, default=20.0,
+                   help="UTC hour for the diurnal profile (users demand)")
+    p.add_argument("--demand-seed", type=int, default=0,
+                   help="heavy-tail multiplier seed (users demand)")
+    p.add_argument("--users-millions", type=float, default=None,
+                   help="rescale to this many million active users "
+                        "(users demand)")
     _add_cache_args(p)
     p.set_defaults(func=_cmd_netsim)
 

@@ -37,6 +37,15 @@ FIXED_LOS_SCENARIOS = ("interdc", "city_dc")
 #: Netsim engines (single source; the netsim package and CLI import it).
 ENGINES = ("packet", "fluid")
 
+#: How the offered traffic matrix is built: "design" scales the design
+#: matrix by a load fraction; "users" builds it bottom-up from per-city
+#: populations (diurnal + heavy-tail million-user demand layer).
+DEMAND_MODELS = ("design", "users")
+
+#: Transport macro-models: "udp" offers demand open-loop; "tcp" caps
+#: each flow at its Mathis-model rate (fluid engine only).
+TRANSPORTS = ("udp", "tcp")
+
 
 def canonical_json(obj: Any) -> str:
     """The canonical JSON text of a plain dict/list/scalar tree.
@@ -167,11 +176,22 @@ class NetsimSpec:
     """Load-curve evaluation (§5 / Fig 5 methodology).
 
     Attributes:
-        loads: offered-load fractions of the design aggregate.
+        loads: offered-load fractions of the design aggregate (or of the
+            user-model aggregate under ``demand_model="users"``).
         engine: "packet" or "fluid".
         duration_s: simulated seconds per load point (packet engine).
         seed: Poisson-arrival seed (packet engine).
         capacity_mode: "k2" (Step-3 provisioning) or "tight".
+        demand_model: "design" (scale the design matrix) or "users"
+            (bottom-up per-city million-user demand).
+        demand_hour_utc: UTC hour evaluated by the diurnal profile
+            (users model only).
+        demand_seed: heavy-tail per-city multiplier seed (users model).
+        users_millions: rescale the user model to this many million
+            active users network-wide; None keeps population-derived
+            counts (users model only).
+        transport: "udp" (open-loop offers) or "tcp" (Mathis macro-model
+            caps; requires ``engine="fluid"``).
     """
 
     loads: tuple[float, ...] = (0.3, 0.6, 0.9)
@@ -179,6 +199,11 @@ class NetsimSpec:
     duration_s: float = 0.5
     seed: int = 0
     capacity_mode: str = "k2"
+    demand_model: str = "design"
+    demand_hour_utc: float = 20.0
+    demand_seed: int = 0
+    users_millions: float | None = None
+    transport: str = "udp"
 
     def __post_init__(self) -> None:
         if not isinstance(self.loads, (tuple, list)):
@@ -193,6 +218,25 @@ class NetsimSpec:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r} (choose from {', '.join(ENGINES)})"
+            )
+        if self.demand_model not in DEMAND_MODELS:
+            raise ValueError(
+                f"unknown demand model {self.demand_model!r} "
+                f"(choose from {', '.join(DEMAND_MODELS)})"
+            )
+        if not 0 <= self.demand_hour_utc < 24:
+            raise ValueError("demand hour must be in [0, 24)")
+        if self.users_millions is not None and self.users_millions <= 0:
+            raise ValueError("users_millions must be positive")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r} "
+                f"(choose from {', '.join(TRANSPORTS)})"
+            )
+        if self.transport == "tcp" and self.engine != "fluid":
+            raise ValueError(
+                "transport='tcp' is a fluid-engine macro-model; "
+                "use engine='fluid' (the packet engine has TcpFlow)"
             )
 
 

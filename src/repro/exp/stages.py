@@ -178,6 +178,13 @@ def _netsim_payload(spec: ExperimentSpec) -> dict:
         "duration_s": float(ns.duration_s),
         "seed": int(ns.seed),
         "capacity_mode": ns.capacity_mode,
+        "demand_model": ns.demand_model,
+        "demand_hour_utc": float(ns.demand_hour_utc),
+        "demand_seed": int(ns.demand_seed),
+        "users_millions": (
+            None if ns.users_millions is None else float(ns.users_millions)
+        ),
+        "transport": ns.transport,
     }
 
 
@@ -201,6 +208,11 @@ def _run_netsim(spec: ExperimentSpec, inputs: dict[str, Any]):
         duration_s=ns.duration_s,
         seed=ns.seed,
         capacity_mode=ns.capacity_mode,
+        demand_model=ns.demand_model,
+        demand_hour_utc=ns.demand_hour_utc,
+        demand_seed=ns.demand_seed,
+        users_millions=ns.users_millions,
+        transport=ns.transport,
     )
 
 
@@ -362,7 +374,11 @@ STAGES: dict[str, Stage] = {
     ),
     "netsim": Stage(
         name="netsim",
-        version="1",
+        # v2: vectorized commodity-aggregate fluid solver (rate-identical
+        # up to float noise, but duplicate parallel links now aggregate
+        # instead of overwriting), record rows grew transport/demand_model,
+        # and the payload grew the demand-model and transport knobs.
+        version="2",
         deps=lambda spec: ("design",),
         payload=_netsim_payload,
         run=_run_netsim,

@@ -2,7 +2,9 @@
 
 from .engine import Event, Simulator
 from .experiments import (
+    DEMAND_MODELS,
     ENGINES,
+    TRANSPORTS,
     FailureRerouteResult,
     UdpExperimentResult,
     hybrid_routing_graph,
@@ -11,7 +13,16 @@ from .experiments import (
     build_edge_specs,
     run_udp_experiment,
 )
-from .fluid import FluidFlow, FluidResult, max_min_rates, solve_fluid
+from .fluid import (
+    SOLVERS,
+    FluidFlow,
+    FluidResult,
+    aggregate_capacities,
+    max_min_rates,
+    max_min_rates_vectorized,
+    solve_fluid,
+)
+from .tcpmodel import MATHIS_C, mathis_rate_bps, solve_fluid_tcp
 from .flows import DEFAULT_UDP_PACKET_BYTES, UdpFlow
 from .links import DEFAULT_QUEUE_PACKETS, Link
 from .monitor import FlowMonitor, FlowStats, QueueSampler
@@ -29,15 +40,23 @@ from .routing import (
 from .tcp import DEFAULT_MSS_BYTES, TcpFlow, TcpStats
 
 __all__ = [
+    "DEMAND_MODELS",
     "ENGINES",
+    "MATHIS_C",
+    "SOLVERS",
+    "TRANSPORTS",
     "Event",
     "FluidFlow",
     "FluidResult",
     "RoutingCache",
     "Simulator",
+    "aggregate_capacities",
     "hybrid_routing_graph",
+    "mathis_rate_bps",
     "max_min_rates",
+    "max_min_rates_vectorized",
     "solve_fluid",
+    "solve_fluid_tcp",
     "FailureRerouteResult",
     "UdpExperimentResult",
     "run_failure_reroute_experiment",

@@ -24,16 +24,23 @@ import numpy as np
 from ..core.augmentation import route_link_demands, series_needed
 from ..core.topology import Topology
 from ..geo.coords import SPEED_OF_LIGHT_KM_S
+from ..traffic.matrices import user_demand_matrix
 from .engine import Simulator
 from .fluid import FluidFlow, solve_fluid
 from .flows import DEFAULT_UDP_PACKET_BYTES, UdpFlow
 from .monitor import FlowMonitor
 from .network import EdgeSpec, Network
 from .routing import RoutingCache
+from .tcpmodel import solve_fluid_tcp
 
-# The engine list is owned by the (dependency-light) spec module so the
-# spec layer, this package, and the CLI validate against one copy.
-from ..exp.spec import ENGINES  # noqa: E402 - re-exported for callers
+# The engine/demand-model/transport lists are owned by the (dependency-
+# light) spec module so the spec layer, this package, and the CLI
+# validate against one copy.
+from ..exp.spec import (  # noqa: E402 - re-exported for callers
+    DEMAND_MODELS,
+    ENGINES,
+    TRANSPORTS,
+)
 
 
 @dataclass(frozen=True)
@@ -172,6 +179,11 @@ def run_udp_experiment(
     capacity_mode: str = "k2",
     seed: int = 0,
     engine: str = "packet",
+    demand_model: str = "design",
+    demand_hour_utc: float = 20.0,
+    demand_seed: int = 0,
+    users_millions: float | None = None,
+    transport: str = "udp",
 ) -> UdpExperimentResult:
     """One Fig 5 / Fig 11 load point.
 
@@ -180,10 +192,12 @@ def run_udp_experiment(
         design_aggregate_gbps: the capacity the network was designed
             for; link capacities derive from routing *design* traffic.
         input_rate_fraction: offered aggregate load as a fraction of
-            ``design_aggregate_gbps`` (the x-axis of Fig 5).
+            ``design_aggregate_gbps`` (the x-axis of Fig 5) — or of the
+            user-model aggregate under ``demand_model="users"``.
         offered_traffic: traffic matrix actually offered (defaults to
             the design matrix; perturbed/mixed matrices reproduce the
-            deviation experiments).
+            deviation experiments).  Mutually exclusive with
+            ``demand_model="users"``, which builds its own matrix.
         duration_s: simulated seconds (packet engine only).
         rate_scale: uniform rate shrink factor (see module docstring).
         min_flow_rate_fraction: demands below this fraction of the
@@ -193,13 +207,56 @@ def run_udp_experiment(
         engine: ``"packet"`` simulates every packet; ``"fluid"`` solves
             the steady-state max-min rate allocation instead — 1-2
             orders of magnitude faster, no queueing/jitter modelling.
+        demand_model: ``"design"`` offers the design (or explicit)
+            matrix; ``"users"`` builds offered traffic bottom-up from
+            per-city populations (diurnal x heavy-tail, the
+            million-user layer in :mod:`repro.traffic.matrices`).
+        demand_hour_utc: UTC hour for the diurnal profile (users model).
+        demand_seed: heavy-tail multiplier seed (users model).
+        users_millions: rescale the user model to this many million
+            active users network-wide (users model; None keeps
+            population-derived counts).
+        transport: ``"udp"`` offers demand open-loop; ``"tcp"`` caps
+            each flow at its Mathis macro-model rate and iterates loss
+            to a fixed point (fluid engine only).
     """
     if not 0 < input_rate_fraction <= 1.5:
         raise ValueError("input rate fraction out of range")
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    if demand_model not in DEMAND_MODELS:
+        raise ValueError(
+            f"unknown demand model {demand_model!r} "
+            f"(choose from {DEMAND_MODELS})"
+        )
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r} (choose from {TRANSPORTS})"
+        )
+    if transport == "tcp" and engine != "fluid":
+        raise ValueError(
+            "transport='tcp' is a fluid-engine macro-model; the packet "
+            "engine simulates TCP per-packet via TcpFlow instead"
+        )
     design = topology.design
-    traffic = offered_traffic if offered_traffic is not None else design.traffic
+    if demand_model == "users":
+        if offered_traffic is not None:
+            raise ValueError(
+                "demand_model='users' builds its own traffic matrix; "
+                "it conflicts with an explicit offered_traffic"
+            )
+        traffic, user_aggregate_gbps = user_demand_matrix(
+            list(design.sites),
+            hour_utc=demand_hour_utc,
+            seed=demand_seed,
+            users_millions=users_millions,
+        )
+        offered_aggregate_gbps = user_aggregate_gbps
+    else:
+        traffic = (
+            offered_traffic if offered_traffic is not None else design.traffic
+        )
+        offered_aggregate_gbps = design_aggregate_gbps
     specs = build_edge_specs(
         topology,
         design_aggregate_gbps,
@@ -209,7 +266,7 @@ def run_udp_experiment(
     node_names = {spec.a for spec in specs} | {spec.b for spec in specs}
     routes = topology.routed_paths()
     offered_bps = (
-        design_aggregate_gbps * 1e9 * rate_scale * input_rate_fraction
+        offered_aggregate_gbps * 1e9 * rate_scale * input_rate_fraction
     )
     kept, kept_mass = kept_flow_shares(
         routes, traffic, node_names, min_flow_rate_fraction
@@ -227,9 +284,14 @@ def run_udp_experiment(
             for flow_id, (_pair, node_path, h) in enumerate(kept)
             if offered_bps * h / kept_mass > 0
         ]
-        result = solve_fluid(
-            specs, fluid_flows, packet_bytes=DEFAULT_UDP_PACKET_BYTES
-        )
+        if transport == "tcp":
+            result = solve_fluid_tcp(
+                specs, fluid_flows, packet_bytes=DEFAULT_UDP_PACKET_BYTES
+            )
+        else:
+            result = solve_fluid(
+                specs, fluid_flows, packet_bytes=DEFAULT_UDP_PACKET_BYTES
+            )
         return UdpExperimentResult(
             input_rate_fraction=input_rate_fraction,
             mean_delay_ms=result.mean_latency_s() * 1000.0,
@@ -279,6 +341,11 @@ def run_load_curve(
     seed: int = 0,
     capacity_mode: str = "k2",
     offered_traffic: np.ndarray | None = None,
+    demand_model: str = "design",
+    demand_hour_utc: float = 20.0,
+    demand_seed: int = 0,
+    users_millions: float | None = None,
+    transport: str = "udp",
 ) -> list[dict]:
     """The full Fig 5 load curve as tidy records (the netsim stage).
 
@@ -297,11 +364,18 @@ def run_load_curve(
             capacity_mode=capacity_mode,
             seed=seed,
             engine=engine,
+            demand_model=demand_model,
+            demand_hour_utc=demand_hour_utc,
+            demand_seed=demand_seed,
+            users_millions=users_millions,
+            transport=transport,
         )
         rows.append(
             {
                 "stage": "netsim",
                 "engine": engine,
+                "transport": transport,
+                "demand_model": demand_model,
                 "load": float(load),
                 "mean_delay_ms": float(res.mean_delay_ms),
                 "loss_rate": float(res.loss_rate),

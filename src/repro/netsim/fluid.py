@@ -1,12 +1,30 @@
 """Fluid-approximation engine: max-min fair flow rates (fast path).
 
 For sweeps where per-packet fidelity is unnecessary (Fig 11/13-scale
-load scans), solving the steady-state fluid allocation is 1-2 orders of
+load scans), solving the steady-state fluid allocation is orders of
 magnitude cheaper than simulating every packet.  Flows are modelled as
 fluids on their fixed paths; link bandwidth is shared max-min fairly
 (progressive filling, Bertsekas & Gallager §6.5): all unfrozen flows
 ramp together until a link saturates or a flow hits its offered rate,
 the constrained flows freeze, and filling continues with the rest.
+
+Two solvers implement the same allocation:
+
+* ``max_min_rates`` — the scalar reference: explicit per-round Python
+  loops over a residual-capacity dict.  Exact and readable; O(rounds x
+  (flows + links)) interpreter work, so it is the small-workload
+  reference, not the scale path.
+* ``max_min_rates_vectorized`` — the commodity-aggregate solver behind
+  ``solve_fluid``: flows sharing a path collapse into one demand row,
+  path->link incidence is a scipy sparse matrix, and every progressive-
+  filling round is whole-array numpy work.  Because all unfrozen flows
+  always sit at one *global* fill level, a flow's final rate is
+  ``min(demand, theta_P)`` where ``theta_P`` is the fill level at which
+  its path's first link saturated — so the solve only tracks per-
+  commodity freeze levels plus a single globally demand-sorted flow
+  array, and demand-limited flows freeze in bulk per round.  This is
+  what makes million-flow commodity aggregates tractable (see
+  ``benchmarks/bench_fluid_engine.py``).
 
 The engine consumes the same :class:`~repro.netsim.network.EdgeSpec`
 capacities and node paths as the packet engine, so an experiment can
@@ -18,10 +36,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+from scipy import sparse
+
 from .network import EdgeSpec
 
 #: Rate slack treated as saturation (absolute, bits/second).
 _EPS_BPS = 1e-9
+
+#: Relative capacity slack treated as saturation (scales the absolute
+#: epsilon up for multi-gigabit links, where float64 resolution alone
+#: exceeds 1e-9 bps).
+_EPS_REL = 1e-12
+
+#: Allocations may exceed capacity by at most this relative slack; more
+#: is a solver bug and fails loudly (never clamped away in reporting).
+CAPACITY_SLACK_REL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -30,7 +60,10 @@ class FluidFlow:
 
     Attributes:
         flow_id: unique id.
-        path: node names from source to destination.
+        path: node names from source to destination.  The path must be
+            edge-simple (no directed link twice): allocation treats a
+            path as a *set* of links, so a repeated edge would receive
+            half the load the latency/utilization accounting charges it.
         offered_bps: the flow's offered (maximum) rate.
     """
 
@@ -43,6 +76,12 @@ class FluidFlow:
             raise ValueError("offered rate must be positive")
         if len(self.path) < 2:
             raise ValueError("path needs at least two nodes")
+        edges = list(zip(self.path[:-1], self.path[1:]))
+        if len(set(edges)) != len(edges):
+            raise ValueError(
+                f"flow {self.flow_id} path repeats a directed link; "
+                "fluid paths must be edge-simple"
+            )
 
 
 @dataclass(frozen=True)
@@ -54,7 +93,10 @@ class FluidResult:
         offered_bps: offered rate per flow id.
         latencies_s: static per-flow path latency (propagation plus one
             packet serialization per hop; queueing is not modelled).
-        link_utilization: per directed link, allocated load / capacity.
+        link_utilization: per directed link, allocated load / capacity —
+            the *true* ratio.  The solver guarantees it never exceeds
+            ``1 + CAPACITY_SLACK_REL``; an over-allocation is a bug and
+            raises rather than being clamped out of sight.
     """
 
     rates_bps: dict[int, float]
@@ -102,11 +144,21 @@ class FluidResult:
         )
 
 
+def _check_flows(
+    capacities_bps: dict[tuple[str, str], float],
+    flows: list[FluidFlow],
+) -> None:
+    for flow in flows:
+        for u, v in zip(flow.path[:-1], flow.path[1:]):
+            if (u, v) not in capacities_bps:
+                raise KeyError(f"flow {flow.flow_id} uses unknown link {u}->{v}")
+
+
 def max_min_rates(
     capacities_bps: dict[tuple[str, str], float],
     flows: list[FluidFlow],
 ) -> dict[int, float]:
-    """Max-min fair rates via progressive filling.
+    """Max-min fair rates via progressive filling (scalar reference).
 
     Args:
         capacities_bps: directed link capacities keyed by (u, v).
@@ -116,11 +168,14 @@ def max_min_rates(
 
     Each round freezes at least one flow (bottlenecked or satisfied),
     so the loop runs at most ``len(flows)`` times over the link set.
+    Bottleneck detection is two-pass: the first pass finds the minimum
+    fair share over all loaded links, the realized step is the minimum
+    of that and the demand step, and only then are links within epsilon
+    of the realized step collected as bottlenecks — a link whose share
+    falls just *below* the demand step can never be filled past its
+    residual (the historical epsilon-asymmetric bug).
     """
-    for flow in flows:
-        for u, v in zip(flow.path[:-1], flow.path[1:]):
-            if (u, v) not in capacities_bps:
-                raise KeyError(f"flow {flow.flow_id} uses unknown link {u}->{v}")
+    _check_flows(capacities_bps, flows)
 
     alloc = {flow.flow_id: 0.0 for flow in flows}
     remaining = {flow.flow_id: flow.offered_bps for flow in flows}
@@ -133,18 +188,24 @@ def max_min_rates(
 
     while active:
         # The largest uniform increment every active flow can take.
-        step = min(remaining[fid] for fid in active)
-        bottlenecks: list[tuple[str, str]] = []
+        demand_step = min(remaining[fid] for fid in active)
+        # Pass 1: the minimum fair share over all loaded links.
+        min_share = float("inf")
         for link, users in on_link.items():
             if not users:
                 continue
             share = residual[link] / len(users)
-            if share < step - _EPS_BPS:
-                step = share
-                bottlenecks = [link]
-            elif share <= step + _EPS_BPS:
-                bottlenecks.append(link)
-        step = max(step, 0.0)
+            if share < min_share:
+                min_share = share
+        step = max(min(demand_step, min_share), 0.0)
+        # Pass 2: every link within epsilon of the realized step is a
+        # bottleneck (epsilon-symmetric: the step itself never exceeds
+        # any link's share, so no residual is driven below zero).
+        bottlenecks = [
+            link
+            for link, users in on_link.items()
+            if users and residual[link] / len(users) <= step + _EPS_BPS
+        ]
         for fid in active:
             alloc[fid] += step
             remaining[fid] -= step
@@ -164,40 +225,300 @@ def max_min_rates(
     return alloc
 
 
-def solve_fluid(
-    specs: list[EdgeSpec],
-    flows: list[FluidFlow],
-    packet_bytes: int = 500,
-) -> FluidResult:
-    """Allocate max-min rates over a network built from edge specs.
+class _CommodityProblem:
+    """Flows collapsed into path commodities over an indexed link set.
 
-    ``packet_bytes`` only affects the static latency estimate (one
-    serialization per hop), mirroring the packet engine's uniform UDP
-    size.
+    Built once per solve: flows sharing a path become one incidence row
+    (their demands stay individually visible to the filling loop via
+    one globally demand-sorted array), links become dense capacity /
+    delay arrays, and path->link membership becomes a CSR matrix
+    ``incidence`` of shape (n_commodities, n_links).
+    """
+
+    def __init__(
+        self,
+        capacities_bps: dict[tuple[str, str], float],
+        flows: list[FluidFlow],
+    ) -> None:
+        self.link_keys = list(capacities_bps)
+        link_index = {key: i for i, key in enumerate(self.link_keys)}
+        self.capacities = np.array(
+            [capacities_bps[key] for key in self.link_keys], dtype=float
+        )
+
+        # Collapse flows sharing a path into one commodity row, building
+        # the CSR incidence (row c = link indices of path c) in the same
+        # pass; unknown links surface here, exactly once per path.
+        commodity_of_path: dict[tuple[str, ...], int] = {}
+        self.paths: list[tuple[str, ...]] = []
+        flow_commodity = np.empty(len(flows), dtype=np.int64)
+        indices: list[int] = []
+        indptr = [0]
+        index_of = link_index.get
+        append_link = indices.append
+        for i, flow in enumerate(flows):
+            path = flow.path
+            c = commodity_of_path.get(path)
+            if c is None:
+                c = len(self.paths)
+                commodity_of_path[path] = c
+                self.paths.append(path)
+                prev = path[0]
+                for node in path[1:]:
+                    li = index_of((prev, node))
+                    if li is None:
+                        raise KeyError(
+                            f"flow {flow.flow_id} uses unknown link "
+                            f"{prev}->{node}"
+                        )
+                    append_link(li)
+                    prev = node
+                indptr.append(len(indices))
+            flow_commodity[i] = c
+
+        self.flow_ids = np.array([f.flow_id for f in flows], dtype=np.int64)
+        self.demands = np.array([f.offered_bps for f in flows], dtype=float)
+        self.flow_commodity = flow_commodity
+        self.incidence = sparse.csr_matrix(
+            (
+                np.ones(len(indices), dtype=float),
+                np.array(indices, dtype=np.int64),
+                np.array(indptr, dtype=np.int64),
+            ),
+            shape=(len(self.paths), len(self.link_keys)),
+        )
+
+    @property
+    def n_commodities(self) -> int:
+        return len(self.paths)
+
+    def commodity_flow_counts(self) -> np.ndarray:
+        counts = np.zeros(self.n_commodities, dtype=np.int64)
+        np.add.at(counts, self.flow_commodity, 1)
+        return counts
+
+    def path_costs(self, per_link: np.ndarray) -> np.ndarray:
+        """Per-commodity sum of a per-link quantity (one sparse matvec)."""
+        return self.incidence @ per_link
+
+    def link_loads(self, flow_rates: np.ndarray) -> np.ndarray:
+        """Per-link load implied by per-flow rates (one sparse matvec)."""
+        commodity_rates = np.zeros(self.n_commodities, dtype=float)
+        np.add.at(commodity_rates, self.flow_commodity, flow_rates)
+        return self.incidence.T @ commodity_rates
+
+
+def _progressive_fill(problem: _CommodityProblem) -> np.ndarray:
+    """Vectorized progressive filling; returns per-flow rates.
+
+    Every unfrozen flow sits at the single global fill level, so the
+    state is: the level, per-commodity active-flow counts ``k`` (flows
+    whose demand the level has not yet passed), per-link residual
+    capacity, and a pointer into the globally demand-sorted flow array.
+    Each round advances the level by the minimum link fair share; flows
+    whose demands fall inside the advance freeze in bulk (an O(crossed)
+    scatter-add, amortized O(n_flows) over the whole solve), and links
+    whose residual reaches zero freeze every commodity crossing them at
+    the current level.  A flow's final rate is ``min(demand, theta)``
+    of its commodity's freeze level.
+    """
+    order = np.argsort(problem.demands, kind="stable")
+    sorted_demands = problem.demands[order]
+    sorted_commodity = problem.flow_commodity[order]
+
+    n_c = problem.n_commodities
+    # Rows of the incidence matrix are compacted as commodities freeze;
+    # col_map tracks each current row's original commodity index.
+    inc = problem.incidence
+    # The two per-round matvecs go through the transpose; cache it as
+    # CSR (refreshed only at compaction) instead of reconstructing a
+    # transposed view a thousand times.
+    inc_t = inc.T.tocsr()
+    k = problem.commodity_flow_counts().astype(float)
+    col_map = np.arange(n_c, dtype=np.int64)
+    orig_to_cur = np.arange(n_c, dtype=np.int64)
+
+    theta = np.full(n_c, np.inf)
+    residual = problem.capacities.astype(float).copy()
+    eps_link = _EPS_BPS + _EPS_REL * problem.capacities
+    link_done = np.zeros(len(problem.capacities), dtype=bool)
+
+    level = 0.0
+    ptr = 0
+    while k.any():
+        counts = inc_t @ k
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(counts > 0, residual / np.maximum(counts, 1.0), np.inf)
+        delta = max(float(share.min(initial=np.inf)), 0.0)
+        if not np.isfinite(delta):  # no loaded link left (defensive)
+            break
+        new_level = level + delta
+
+        # Bulk demand freezes: every flow whose demand lies in
+        # (level, new_level] stops growing at its own demand.
+        new_ptr = int(
+            np.searchsorted(sorted_demands, new_level, side="right")
+        )
+        increment = k * delta
+        crossed = 0
+        if new_ptr > ptr:
+            cz_orig = sorted_commodity[ptr:new_ptr]
+            cz_cur = orig_to_cur[cz_orig]
+            live = cz_cur >= 0
+            cz_cur = cz_cur[live]
+            crossed = len(cz_cur)
+            if crossed:
+                overshoot = new_level - sorted_demands[ptr:new_ptr][live]
+                np.subtract.at(increment, cz_cur, overshoot)
+                np.subtract.at(k, cz_cur, 1.0)
+        residual -= inc_t @ increment
+        level = new_level
+        ptr = new_ptr
+
+        # Freeze every commodity crossing a newly saturated link.
+        saturated = (residual <= eps_link) & ~link_done
+        froze_any = False
+        if saturated.any():
+            link_done |= saturated
+            touched = inc @ saturated.astype(float)
+            newly = (touched > 0) & (k > 0)
+            if newly.any():
+                froze_any = True
+                frozen_orig = col_map[newly]
+                theta[frozen_orig] = level
+                k[newly] = 0.0
+                # A frozen commodity's still-unmet demands must not be
+                # processed when the global pointer passes them later.
+                orig_to_cur[frozen_orig] = -1
+        if delta <= 0.0 and crossed == 0 and not froze_any:
+            # Numerical safety valve (mirrors the scalar solver): no
+            # progress is possible, freeze everything at the level.
+            remaining = k > 0
+            theta[col_map[remaining]] = level
+            k[remaining] = 0.0
+            break
+
+        # Compact away frozen/exhausted commodities once they are the
+        # majority, keeping the per-round matvecs proportional to the
+        # surviving active set.
+        active = k > 0
+        n_active = int(active.sum())
+        if n_active and n_active * 2 <= len(k):
+            inc = inc[active]
+            inc_t = inc.T.tocsr()
+            k = k[active]
+            col_map = col_map[active]
+            orig_to_cur = np.full(n_c, -1, dtype=np.int64)
+            orig_to_cur[col_map] = np.arange(len(col_map), dtype=np.int64)
+
+    return np.minimum(problem.demands, theta[problem.flow_commodity])
+
+
+def max_min_rates_vectorized(
+    capacities_bps: dict[tuple[str, str], float],
+    flows: list[FluidFlow],
+) -> dict[int, float]:
+    """Max-min fair rates via the vectorized commodity-aggregate solver.
+
+    Allocation-identical to :func:`max_min_rates` (up to floating-point
+    noise; see the parity gate in ``benchmarks/bench_fluid_engine.py``)
+    but runs progressive filling as whole-array numpy/scipy operations
+    over path commodities, so million-flow workloads solve in well under
+    a second instead of minutes.
+    """
+    if not flows:
+        return {}
+    problem = _CommodityProblem(capacities_bps, flows)
+    rates = _progressive_fill(problem)
+    return dict(zip(problem.flow_ids.tolist(), rates.tolist()))
+
+
+#: Named rate solvers behind :func:`solve_fluid`.
+SOLVERS = ("vectorized", "scalar")
+
+
+def aggregate_capacities(
+    specs: list[EdgeSpec],
+) -> tuple[dict[tuple[str, str], float], dict[tuple[str, str], float]]:
+    """Directed (capacity, delay) maps with parallel links aggregated.
+
+    Two specs covering the same directed link add their bandwidth and
+    keep the smallest delay — the packet path's "aggregate the bandwidth
+    of parallel links" semantics — instead of the last spec silently
+    overwriting the first.
     """
     capacities: dict[tuple[str, str], float] = {}
     delays: dict[tuple[str, str], float] = {}
     for spec in specs:
         for u, v in ((spec.a, spec.b), (spec.b, spec.a)):
-            capacities[(u, v)] = spec.rate_bps
-            delays[(u, v)] = spec.delay_s
-    rates = max_min_rates(capacities, flows)
+            if (u, v) in capacities:
+                capacities[(u, v)] += spec.rate_bps
+                delays[(u, v)] = min(delays[(u, v)], spec.delay_s)
+            else:
+                capacities[(u, v)] = spec.rate_bps
+                delays[(u, v)] = spec.delay_s
+    return capacities, delays
 
-    latencies: dict[int, float] = {}
-    load: dict[tuple[str, str], float] = {}
+
+def _assert_capacity_invariant(
+    loads: np.ndarray, capacities: np.ndarray
+) -> None:
+    """Fail loudly if any link is allocated beyond its capacity."""
+    slack = capacities * CAPACITY_SLACK_REL + _EPS_BPS
+    overfilled = loads > capacities + slack
+    if overfilled.any():
+        worst = int(np.argmax(loads / np.maximum(capacities, _EPS_BPS)))
+        raise AssertionError(
+            "max-min solver over-allocated a link: load "
+            f"{loads[worst]:.6g} bps on capacity {capacities[worst]:.6g} "
+            "bps (solver bug — utilizations are never clamped)"
+        )
+
+
+def solve_fluid(
+    specs: list[EdgeSpec],
+    flows: list[FluidFlow],
+    packet_bytes: int = 500,
+    solver: str = "vectorized",
+) -> FluidResult:
+    """Allocate max-min rates over a network built from edge specs.
+
+    ``packet_bytes`` only affects the static latency estimate (one
+    serialization per hop), mirroring the packet engine's uniform UDP
+    size.  ``solver`` selects the vectorized commodity-aggregate engine
+    (default) or the scalar reference implementation.
+    """
+    if solver not in SOLVERS:
+        raise ValueError(f"unknown solver {solver!r} (choose from {SOLVERS})")
+    capacities, delays = aggregate_capacities(specs)
+    problem = _CommodityProblem(capacities, flows)
+    if solver == "vectorized":
+        rates = _progressive_fill(problem)
+    else:
+        rate_map = max_min_rates(capacities, flows)
+        rates = np.array(
+            [rate_map[int(fid)] for fid in problem.flow_ids], dtype=float
+        )
+
+    # Vectorized accounting: per-commodity latency and per-link load via
+    # the same incidence matrix the solver filled over.
     packet_bits = packet_bytes * 8
-    for flow in flows:
-        latency = 0.0
-        for u, v in zip(flow.path[:-1], flow.path[1:]):
-            latency += delays[(u, v)] + packet_bits / capacities[(u, v)]
-            load[(u, v)] = load.get((u, v), 0.0) + rates[flow.flow_id]
-        latencies[flow.flow_id] = latency
+    delay_arr = np.array([delays[key] for key in problem.link_keys])
+    per_link_latency = delay_arr + packet_bits / problem.capacities
+    commodity_latency = problem.path_costs(per_link_latency)
+    latencies = commodity_latency[problem.flow_commodity]
+
+    loads = problem.link_loads(rates)
+    _assert_capacity_invariant(loads, problem.capacities)
+    used = loads > 0
     utilization = {
-        link: min(used / capacities[link], 1.0) for link, used in load.items()
+        problem.link_keys[i]: float(loads[i] / problem.capacities[i])
+        for i in np.flatnonzero(used)
     }
+    flow_ids = problem.flow_ids.tolist()
     return FluidResult(
-        rates_bps=rates,
-        offered_bps={flow.flow_id: flow.offered_bps for flow in flows},
-        latencies_s=latencies,
+        rates_bps=dict(zip(flow_ids, rates.tolist())),
+        offered_bps=dict(zip(flow_ids, problem.demands.tolist())),
+        latencies_s=dict(zip(flow_ids, latencies.tolist())),
         link_utilization=utilization,
     )

@@ -1,0 +1,123 @@
+"""TCP macro-model for the fluid engine (Mathis square-root law).
+
+The packet engine simulates TCP window dynamics per packet; at
+million-flow scale the fluid path needs a closed-form stand-in.  The
+Mathis et al. (1997) macroscopic model gives a long-lived TCP flow's
+throughput from its loss rate and RTT::
+
+    rate = C * MSS * 8 / (RTT * sqrt(p)),   C = sqrt(3/2)
+
+:func:`solve_fluid_tcp` couples that law to the max-min fluid
+allocation with a damped fixed point: each flow offers
+``min(application_demand, mathis_rate(RTT, p))``, the fluid solver
+allocates, and the unserved fraction of the offer feeds back as the
+next iterate's loss estimate (floored at ``loss_floor``, the ambient
+loss a real path always shows).  At the fixed point, uncongested flows
+run at the Mathis rate for ambient loss (or their application demand,
+whichever is smaller) and congested flows back off until their offer
+matches what their bottleneck can carry.
+
+RTTs are static: twice the fluid engine's one-way path latency
+(propagation plus one serialization per hop); queueing delay is not
+modelled, consistent with the rest of the fluid abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .fluid import FluidFlow, FluidResult, solve_fluid
+from .network import EdgeSpec
+from .tcp import DEFAULT_MSS_BYTES
+
+#: The Mathis constant sqrt(3/2) (periodic-loss model, delayed ACKs off).
+MATHIS_C = math.sqrt(1.5)
+
+#: Ambient loss rate assumed on uncongested paths.  Also the floor the
+#: fixed point can never drop below (p -> 0 would send the Mathis rate
+#: to infinity).
+DEFAULT_LOSS_FLOOR = 1e-4
+
+
+def mathis_rate_bps(
+    rtt_s: float,
+    loss_rate: float,
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+) -> float:
+    """Mathis model throughput (bits/second) for one long-lived flow.
+
+    Args:
+        rtt_s: round-trip time, seconds (must be positive).
+        loss_rate: packet loss probability in (0, 1].
+        mss_bytes: maximum segment size.
+    """
+    if rtt_s <= 0:
+        raise ValueError("RTT must be positive")
+    if not 0 < loss_rate <= 1:
+        raise ValueError("loss rate must be in (0, 1]")
+    return MATHIS_C * mss_bytes * 8 / (rtt_s * math.sqrt(loss_rate))
+
+
+def solve_fluid_tcp(
+    specs: list[EdgeSpec],
+    flows: list[FluidFlow],
+    loss_floor: float = DEFAULT_LOSS_FLOOR,
+    iterations: int = 25,
+    damping: float = 0.5,
+    tolerance: float = 1e-6,
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+    packet_bytes: int = 500,
+    solver: str = "vectorized",
+) -> FluidResult:
+    """Fluid allocation under the Mathis TCP macro-model.
+
+    ``flows`` carry the *application* demand (an upper bound on what
+    each flow would send); the realized offer is capped by the Mathis
+    rate at the flow's current loss estimate, and the loss estimate
+    relaxes toward the unserved fraction of the offer under ``damping``
+    until it moves less than ``tolerance`` (or ``iterations`` runs out).
+
+    Returns the final :class:`FluidResult`; its ``offered_bps`` are the
+    converged TCP offers, so ``loss_rate`` reports the unserved share
+    of what TCP actually attempted, not of the application demand.
+    """
+    if not flows:
+        return solve_fluid(specs, flows, packet_bytes=packet_bytes, solver=solver)
+    if not 0 < loss_floor < 1:
+        raise ValueError("loss floor must be in (0, 1)")
+    if not 0 < damping <= 1:
+        raise ValueError("damping must be in (0, 1]")
+
+    # One solve at the application demands fixes the (static) RTTs.
+    base = solve_fluid(specs, flows, packet_bytes=packet_bytes, solver=solver)
+    rtt = {fid: 2.0 * lat for fid, lat in base.latencies_s.items()}
+
+    demand = {f.flow_id: f.offered_bps for f in flows}
+    paths = {f.flow_id: f.path for f in flows}
+    p = {fid: loss_floor for fid in demand}
+    result = base
+    for _ in range(iterations):
+        tcp_flows = [
+            FluidFlow(
+                flow_id=fid,
+                path=paths[fid],
+                offered_bps=min(
+                    demand[fid], mathis_rate_bps(rtt[fid], p[fid], mss_bytes)
+                ),
+            )
+            for fid in demand
+        ]
+        result = solve_fluid(
+            specs, tcp_flows, packet_bytes=packet_bytes, solver=solver
+        )
+        worst_move = 0.0
+        for fid, offered in result.offered_bps.items():
+            rate = result.rates_bps[fid]
+            dropped = 1.0 - rate / offered if offered > 0 else 0.0
+            target = max(loss_floor, dropped)
+            move = damping * (target - p[fid])
+            p[fid] += move
+            worst_move = max(worst_move, abs(move))
+        if worst_move < tolerance:
+            break
+    return result
