@@ -40,6 +40,16 @@ Caching flags (on every experiment command): ``--cache-dir PATH``
 points the artifact store somewhere explicit, ``--no-cache`` disables
 it; the default location is ``$REPRO_ARTIFACT_DIR`` or
 ``~/.cache/repro/artifacts``.
+
+Sweeps (``sweep`` and multi-axis ``run``) execute through the
+fault-tolerant :class:`~repro.exp.SweepService` whenever a journal
+location exists (an on-disk store or ``--journal-dir``): every point is
+checkpointed, failing points retry up to ``--retries`` then quarantine
+into ``failures.json`` (exit 1), and Ctrl-C checkpoints the journal and
+prints the exact ``--resume`` command (exit 130) instead of discarding
+completed work.  ``--fault-plan plan.json`` injects deterministic
+worker kills / failures / delays / artifact corruption for chaos
+testing.
 """
 
 from __future__ import annotations
@@ -74,6 +84,147 @@ def _store_from_args(args: argparse.Namespace):
     if getattr(args, "cache_dir", None):
         return ArtifactStore(args.cache_dir)
     return ArtifactStore()
+
+
+def _add_service_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the sweep from its journal: execute only points "
+        "without a recorded result (safe to pass on a fresh sweep)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempts per sweep point before it is quarantined "
+        "(default: 3)",
+    )
+    p.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        help="wall-clock seconds per point attempt; the watchdog kills "
+        "workers past it (pool mode only)",
+    )
+    p.add_argument(
+        "--journal-dir",
+        default=None,
+        help="sweep journal directory (default: <store>/sweeps/<fingerprint>)",
+    )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        help="JSON fault-injection plan for chaos testing (see "
+        "repro.exp.faults)",
+    )
+
+
+def _build_service(args: argparse.Namespace, spec, axes, store):
+    """A SweepService for the CLI flags, or None to use plain SweepRunner.
+
+    The plain runner only remains for ``--no-cache`` sweeps without a
+    journal directory — there is nowhere durable to checkpoint them.
+    """
+    from .exp import FaultPlan, NullStore, RetryPolicy, SweepService
+
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.from_json_file(args.fault_plan)
+        except OSError as exc:
+            raise SystemExit(f"cannot read fault plan: {exc}")
+    journal_free = isinstance(store, NullStore) and args.journal_dir is None
+    if journal_free:
+        if args.resume:
+            raise SystemExit(
+                "--resume needs a journal: drop --no-cache or pass "
+                "--journal-dir"
+            )
+        if fault_plan is not None:
+            raise SystemExit(
+                "--fault-plan needs a journaled sweep: drop --no-cache or "
+                "pass --journal-dir"
+            )
+        return None
+    if args.retries < 1:
+        raise SystemExit("--retries must be >= 1")
+    return SweepService(
+        spec,
+        axes=axes,
+        store=store,
+        jobs=args.jobs,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        retry=RetryPolicy(max_attempts=args.retries),
+        point_timeout_s=args.point_timeout,
+        fault_plan=fault_plan,
+    )
+
+
+def _checkpoint_on_sigint(service):
+    """SIGINT checkpoints the journal instead of killing the sweep.
+
+    Returns a zero-argument restore function for a ``finally`` block.
+    """
+    import signal
+
+    def handler(signum, frame):
+        print(
+            "\ninterrupt: checkpointing sweep journal; in-flight points "
+            "will be requeued for --resume",
+            file=sys.stderr,
+        )
+        service.request_stop()
+
+    previous = signal.signal(signal.SIGINT, handler)
+    return lambda: signal.signal(signal.SIGINT, previous)
+
+
+def _resume_command(args: argparse.Namespace) -> str:
+    """The exact CLI invocation that resumes this sweep."""
+    import shlex
+
+    argv = list(getattr(args, "_argv", None) or [])
+    if "--resume" not in argv:
+        argv.append("--resume")
+    return "python -m repro " + shlex.join(argv)
+
+
+def _service_exit_status(args: argparse.Namespace, service, result) -> int:
+    """Report interruption/quarantine to stderr; pick the exit code.
+
+    0 = clean sweep, 1 = quarantined failures, 130 = interrupted (the
+    conventional SIGINT code) with a copy-pasteable resume command.
+    """
+    counts = service.queue.counts()
+    if result.interrupted:
+        remaining = service.queue.n_tasks - counts["done"] - counts["failed"]
+        print(
+            f"\ninterrupted: {counts['done']}/{service.queue.n_tasks} "
+            f"point(s) done, {remaining} remaining "
+            f"(journal: {service.queue.journal_dir})",
+            file=sys.stderr,
+        )
+        print(f"resume with: {_resume_command(args)}", file=sys.stderr)
+        return 130
+    if result.failures:
+        print(
+            f"\n{len(result.failures)} point(s) quarantined after retries "
+            f"(report: {service.queue.failure_report_path}):",
+            file=sys.stderr,
+        )
+        for failure in result.failures:
+            assignment = json.dumps(
+                failure.to_dict()["assignment"], sort_keys=True
+            )
+            print(
+                f"  point {failure.index} {assignment}: {failure.error} "
+                f"[{failure.attempts} attempt(s)]",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 def _add_cache_args(p: argparse.ArgumentParser) -> None:
@@ -151,20 +302,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scenario=_scenario_spec(args, "sweep"),
         design=DesignSpec(budget_towers=budgets[0], solver=args.solver),
     )
-    runner = SweepRunner(
-        spec,
-        axes={"design.budget_towers": budgets},
-        store=_store_from_args(args),
-        jobs=args.jobs,
-    )
-    result = runner.run()
+    axes = {"design.budget_towers": budgets}
+    store = _store_from_args(args)
+    service = _build_service(args, spec, axes, store)
+    status = 0
+    if service is not None:
+        restore_sigint = _checkpoint_on_sigint(service)
+        try:
+            result = service.run()
+        finally:
+            restore_sigint()
+        status = _service_exit_status(args, service, result)
+    else:
+        runner = SweepRunner(spec, axes=axes, store=store, jobs=args.jobs)
+        result = runner.run()
     print("budget_towers  mean_stretch  links")
     for row in result.records:
         if row["stage"] != "design":
             continue
         print(f"{row['budget_towers']:13.0f}  {row['mean_stretch']:12.4f}  "
               f"{row['mw_links']:5d}")
-    return 0
+    return status
 
 
 def _cmd_netsim(args: argparse.Namespace) -> int:
@@ -290,16 +448,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
             path: [tuple(v) if isinstance(v, list) else v for v in values]
             for path, values in axes.items()
         }
-        runner = SweepRunner(spec, axes=axes, store=store, jobs=args.jobs)
-        result = runner.run()
+        service = _build_service(args, spec, axes, store)
+        if service is not None:
+            restore_sigint = _checkpoint_on_sigint(service)
+            try:
+                result = service.run()
+            finally:
+                restore_sigint()
+            status = _service_exit_status(args, service, result)
+        else:
+            runner = SweepRunner(spec, axes=axes, store=store, jobs=args.jobs)
+            result = runner.run()
+            status = 0
         records = result.records
         counts = result.stage_counts
     else:
         run = run_experiment(spec, store=store)
         records = run.records
         counts = {
-            name: {status: 1} for name, status in run.stage_status.items()
+            name: {outcome: 1} for name, outcome in run.stage_status.items()
         }
+        status = 0
     if args.json:
         json.dump(records, sys.stdout, indent=2, sort_keys=True)
         print()
@@ -309,7 +478,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cached = sum(c.get("cached", 0) for c in counts.values())
         print(f"\nstages: {executed} computed, {cached} cached "
               f"({len(records)} record rows)")
-    return 0
+    return status
 
 
 def _cmd_solvers(args: argparse.Namespace) -> int:
@@ -385,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the sweep points")
+    _add_service_args(p)
     _add_cache_args(p)
     p.set_defaults(func=_cmd_sweep)
 
@@ -460,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for sweep points")
     p.add_argument("--json", action="store_true",
                    help="emit the records as JSON instead of a table")
+    _add_service_args(p)
     _add_cache_args(p)
     p.set_defaults(func=_cmd_run)
     return parser
@@ -468,6 +639,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Kept for reconstructing the exact --resume command after a SIGINT.
+    args._argv = list(argv) if argv is not None else list(sys.argv[1:])
     try:
         return args.func(args)
     except ValueError as exc:

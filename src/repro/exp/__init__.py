@@ -5,15 +5,36 @@ seed-pinned :class:`ExperimentSpec` runs through the stage graph
 ``substrate → design → {netsim, weather, apps, econ}`` with each stage
 memoized in a content-addressed :class:`ArtifactStore`, and
 :class:`SweepRunner` fans a spec out over axes across worker processes
-into one tidy records table.
+into one tidy records table.  :class:`SweepService` adds fault
+tolerance on top: a durable :class:`WorkQueue` journal, bounded retry
+with quarantine, worker heartbeats + watchdog restarts, crash resume,
+and deterministic :class:`FaultPlan` injection for chaos testing.
 """
 
+from .faults import (
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    KILL_EXIT_CODE,
+    corrupt_artifact,
+)
+from .queue import TaskRecord, WorkQueue
 from .runner import (
     ExperimentRun,
     SweepAxis,
+    SweepPointError,
     SweepResult,
     SweepRunner,
+    expand_points,
+    point_waves,
     run_experiment,
+)
+from .service import (
+    PointFailure,
+    RetryPolicy,
+    ServiceResult,
+    SweepService,
+    sweep_fingerprint,
 )
 from .spec import (
     AppsSpec,
@@ -36,18 +57,33 @@ __all__ = [
     "EconSpec",
     "ExperimentRun",
     "ExperimentSpec",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "KILL_EXIT_CODE",
     "NetsimSpec",
     "NullStore",
+    "PointFailure",
+    "RetryPolicy",
     "STAGES",
     "ScenarioSpec",
+    "ServiceResult",
     "SweepAxis",
+    "SweepPointError",
     "SweepResult",
     "SweepRunner",
+    "SweepService",
+    "TaskRecord",
     "WeatherSpec",
+    "WorkQueue",
     "artifact_key",
     "canonical_json",
+    "corrupt_artifact",
     "default_store_root",
     "dependency_closure",
+    "expand_points",
+    "point_waves",
     "run_experiment",
     "stage_key",
+    "sweep_fingerprint",
 ]

@@ -187,6 +187,130 @@ def _axis_list(
     )
 
 
+def expand_points(
+    base_spec: ExperimentSpec, axes: tuple[SweepAxis, ...]
+) -> list[tuple[dict, ExperimentSpec]]:
+    """(axis-assignment, spec) for every sweep point, in sweep order.
+
+    The cartesian product of the axis values, first axis outermost —
+    the single source of point indexing for :class:`SweepRunner` and
+    the resumable :class:`~repro.exp.service.SweepService` (a journal
+    written by one must mean the same points to the other).
+    """
+    combos = itertools.product(*(axis.values for axis in axes))
+    points = []
+    for combo in combos:
+        spec = base_spec
+        assignment: dict[str, Any] = {}
+        for axis, value in zip(axes, combo):
+            spec = spec.with_value(axis.path, value)
+            assignment[axis.path] = value
+        points.append((assignment, spec))
+    return points
+
+
+def point_waves(
+    points: list[tuple[dict, ExperimentSpec]],
+    store: ArtifactStore,
+    indices: Sequence[int] | None = None,
+) -> list[list[int]]:
+    """Schedule points so shared expensive stages compute once.
+
+    Cold points sharing a substrate or design key would otherwise
+    race: every worker misses the store at the same time and
+    redundantly rebuilds the same artifact.  Each wave runs one
+    representative point per distinct stage key (substrate first,
+    then design) so later waves find the shared artifacts published;
+    on a warm store the extra barriers cost microseconds.  With a
+    NullStore nothing is shareable, so there is one wave.
+
+    ``indices`` restricts scheduling to a subset of the points (the
+    resume path only schedules points without a journal entry).
+    """
+    order = list(range(len(points))) if indices is None else list(indices)
+    if isinstance(store, NullStore):
+        return [order] if order else []
+    remaining = order
+    waves: list[list[int]] = []
+    for stage_name in BASE_STAGES:
+        reps: list[int] = []
+        rest: list[int] = []
+        seen: set[str] = set()
+        for index in remaining:
+            key = stage_key(points[index][1], stage_name)
+            if key in seen:
+                rest.append(index)
+            else:
+                seen.add(key)
+                reps.append(index)
+        if rest:  # sharing exists at this level: barrier after reps
+            waves.append(reps)
+            remaining = rest
+    if remaining:
+        waves.append(remaining)
+    return waves
+
+
+class SweepPointError(RuntimeError):
+    """One sweep point failed; every completed point's rows survive.
+
+    Raised by :meth:`SweepRunner.run` instead of letting the raw worker
+    exception propagate (which would discard all finished points and
+    leave the failing point anonymous).
+
+    Attributes:
+        index: the sweep-order index of the failing point.
+        assignment: the failing point's axis assignment
+            (``{"design.budget_towers": 400.0, ...}``).
+        completed: sorted indices of the points that finished before
+            the failure surfaced.
+        partial_records: the finished points' table rows (``point`` +
+            axis columns + stage rows), exactly as the full
+            :class:`SweepResult` would have carried them.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        assignment: Mapping[str, Any],
+        cause: BaseException,
+        partial_records: list[dict],
+        completed: list[int],
+    ) -> None:
+        self.index = index
+        self.assignment = dict(assignment)
+        self.partial_records = partial_records
+        self.completed = completed
+        super().__init__(
+            f"sweep point {index} (assignment "
+            f"{canonical_json(_scalar_assignment(self.assignment))}) failed: "
+            f"{type(cause).__name__}: {cause} "
+            f"[{len(completed)} completed point(s) preserved on "
+            ".partial_records]"
+        )
+
+
+def _scalar_assignment(assignment: Mapping[str, Any]) -> dict:
+    """Axis values as JSON-clean scalars (tuples become lists)."""
+    return {
+        path: list(value) if isinstance(value, tuple) else value
+        for path, value in assignment.items()
+    }
+
+
+def _partial_table(
+    points: list[tuple[dict, ExperimentSpec]],
+    results: Mapping[int, tuple[list[dict], dict[str, str]]],
+) -> list[dict]:
+    rows: list[dict] = []
+    for index in sorted(results):
+        assignment = points[index][0]
+        records, _status = results[index]
+        for row in records:
+            rows.append({"point": index, **assignment, **row})
+    return rows
+
+
 #: One store per (worker process, root): keeps the store's per-process
 #: memory layer effective across the several points a worker executes.
 _WORKER_STORES: dict[str | None, ArtifactStore] = {}
@@ -250,51 +374,12 @@ class SweepRunner:
 
     def point_specs(self) -> list[tuple[dict, ExperimentSpec]]:
         """(axis-assignment, spec) for every sweep point, in sweep order."""
-        combos = itertools.product(*(axis.values for axis in self.axes))
-        points = []
-        for combo in combos:
-            spec = self.base_spec
-            assignment: dict[str, Any] = {}
-            for axis, value in zip(self.axes, combo):
-                spec = spec.with_value(axis.path, value)
-                assignment[axis.path] = value
-            points.append((assignment, spec))
-        return points
+        return expand_points(self.base_spec, self.axes)
 
     def _point_waves(
         self, points: list[tuple[dict, ExperimentSpec]]
     ) -> list[list[int]]:
-        """Schedule points so shared expensive stages compute once.
-
-        Cold points sharing a substrate or design key would otherwise
-        race: every worker misses the store at the same time and
-        redundantly rebuilds the same artifact.  Each wave runs one
-        representative point per distinct stage key (substrate first,
-        then design) so later waves find the shared artifacts published;
-        on a warm store the extra barriers cost microseconds.  With a
-        NullStore nothing is shareable, so there is one wave.
-        """
-        if isinstance(self.store, NullStore):
-            return [list(range(len(points)))]
-        remaining = list(range(len(points)))
-        waves: list[list[int]] = []
-        for stage_name in BASE_STAGES:
-            reps: list[int] = []
-            rest: list[int] = []
-            seen: set[str] = set()
-            for index in remaining:
-                key = stage_key(points[index][1], stage_name)
-                if key in seen:
-                    rest.append(index)
-                else:
-                    seen.add(key)
-                    reps.append(index)
-            if rest:  # sharing exists at this level: barrier after reps
-                waves.append(reps)
-                remaining = rest
-        if remaining:
-            waves.append(remaining)
-        return waves
+        return point_waves(points, self.store)
 
     def run(
         self, on_point: Callable[[int, list[dict]], None] | None = None
@@ -303,12 +388,28 @@ class SweepRunner:
 
         ``on_point(index, rows)`` fires in completion order; the returned
         table is always in point order regardless of ``jobs``.
+
+        A worker exception surfaces as :class:`SweepPointError`, which
+        names the failing point's index and axis assignment and carries
+        every completed point's rows — a thousand finished points are
+        never thrown away because the thousand-and-first died.  (For a
+        sweep that *survives* failures — retries, quarantine, crash
+        resume — use :class:`~repro.exp.service.SweepService`.)
         """
         points = self.point_specs()
         results: dict[int, tuple[list[dict], dict[str, str]]] = {}
         if self.jobs == 1 or len(points) <= 1:
-            for index, (_assignment, spec) in enumerate(points):
-                run = run_experiment(spec, store=self.store)
+            for index, (assignment, spec) in enumerate(points):
+                try:
+                    run = run_experiment(spec, store=self.store)
+                except Exception as exc:
+                    raise SweepPointError(
+                        index,
+                        assignment,
+                        exc,
+                        _partial_table(points, results),
+                        sorted(results),
+                    ) from exc
                 results[index] = (run.records, run.stage_status)
                 if on_point is not None:
                     on_point(index, run.records)
@@ -324,13 +425,28 @@ class SweepRunner:
                             points[index][1].to_dict(),
                             store_root,
                             index,
-                        )
+                        ): index
                         for index in wave
                     }
-                    while pending:
-                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    not_done = set(pending)
+                    while not_done:
+                        done, not_done = wait(
+                            not_done, return_when=FIRST_COMPLETED
+                        )
                         for future in done:
-                            index, records, stage_status = future.result()
+                            failed_index = pending[future]
+                            try:
+                                index, records, stage_status = future.result()
+                            except Exception as exc:
+                                for other in not_done:
+                                    other.cancel()
+                                raise SweepPointError(
+                                    failed_index,
+                                    points[failed_index][0],
+                                    exc,
+                                    _partial_table(points, results),
+                                    sorted(results),
+                                ) from exc
                             results[index] = (records, stage_status)
                             if on_point is not None:
                                 on_point(index, records)

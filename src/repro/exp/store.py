@@ -19,12 +19,15 @@ same bytes and the last rename wins.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 from pathlib import Path
 from typing import Any, Callable
 
 from .spec import canonical_json
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_ARTIFACT_DIR"
@@ -81,7 +84,13 @@ class ArtifactStore:
         return self.path_for(key).exists()
 
     def get(self, key: str) -> tuple[bool, Any]:
-        """(found, artifact); unreadable/corrupt entries count as misses."""
+        """(found, artifact); unreadable/corrupt entries count as misses.
+
+        A corrupt entry (torn write, stale class, truncation) is
+        quarantined: renamed to ``<name>.corrupt`` so the recompute's
+        ``put`` starts from an empty slot and the damaged bytes stay
+        available for post-mortem.
+        """
         if key in self._memory:
             return True, self._memory[key]
         path = self.path_for(key)
@@ -91,11 +100,25 @@ class ArtifactStore:
         except FileNotFoundError:
             return False, None
         except (pickle.UnpicklingError, EOFError, OSError, AttributeError,
-                ImportError, IndexError):
-            # A torn or stale entry is as good as absent; recompute.
+                ImportError, IndexError, TypeError, ValueError) as exc:
+            self._quarantine(key, path, exc)
             return False, None
         self._memory[key] = artifact
         return True, artifact
+
+    def _quarantine(self, key: str, path: Path, exc: Exception) -> None:
+        logger.warning(
+            "corrupt artifact for key %s (%s: %s); treating as a cache "
+            "miss and quarantining the file to %s",
+            key,
+            type(exc).__name__,
+            exc,
+            f"{path.name}.corrupt",
+        )
+        try:
+            os.replace(path, path.with_name(f"{path.name}.corrupt"))
+        except OSError:  # pragma: no cover - raced with a concurrent writer
+            pass
 
     def put(self, key: str, artifact: Any) -> Path:
         """Atomically publish an artifact under ``key``."""
