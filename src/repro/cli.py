@@ -383,14 +383,31 @@ def _cmd_weather(args: argparse.Namespace) -> int:
             n_intervals=args.intervals,
             graded=args.graded,
             frequency_ghz=args.frequency_ghz,
+            sample_interval_days=args.interval_days,
+            delta_k=args.delta_k,
+            cache_mb=args.cache_mb,
         ),
     )
     run = run_experiment(spec, store=_store_from_args(args))
+    solver_row = None
     print("series  median  p95")
     for row in run.records:
         if row["stage"] != "weather":
             continue
+        if row["series"] == "solver":
+            solver_row = row
+            continue
         print(f"{row['series']:6s}  {row['median']:.3f}  {row['p95']:.3f}")
+    if solver_row is not None:
+        print(
+            f"solver: {solver_row['intervals']} intervals -> "
+            f"{solver_row['full_solves']} full / "
+            f"{solver_row['delta_solves']} delta / "
+            f"{solver_row['memo_hits']} memo; "
+            f"{solver_row['cached_sets']} sets cached "
+            f"({solver_row['cache_bytes'] / 2**20:.1f} MiB, "
+            f"{solver_row['evictions']} evictions)"
+        )
     return 0
 
 
@@ -612,6 +629,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frequency-ghz", type=float, default=11.0,
                    help="MW carrier frequency for the rain-fade physics "
                         "(shared by the binary and graded models)")
+    p.add_argument("--interval-days", type=int, default=None,
+                   help="evaluate every Nth day of the year "
+                        "deterministically (1 = daily resolution) "
+                        "instead of sampling --intervals random days")
+    p.add_argument("--delta-k", type=int, default=2,
+                   help="failure-set solver neighbor radius (0 = "
+                        "memo-only, no delta reuse)")
+    p.add_argument("--cache-mb", type=float, default=256.0,
+                   help="LRU byte budget (MiB) for cached distance "
+                        "matrices and stretch rows")
     _add_cache_args(p)
     p.set_defaults(func=_cmd_weather)
 

@@ -252,6 +252,15 @@ class WeatherSpec:
         frequency_ghz: MW carrier frequency for the rain attenuation
             physics — threaded through *both* the binary and the graded
             pass, so the two models always evaluate the same physics.
+        sample_interval_days: when set, evaluate every Nth day of the
+            365-day year deterministically (``1`` = full daily
+            resolution) instead of sampling ``n_intervals`` random
+            days; ``n_intervals`` and ``seed`` are then ignored.
+        delta_k: the failure-set solver's neighbor radius — queries
+            within ``delta_k`` links of a previously solved set take
+            the compositional delta route (``0`` = memo-only).
+        cache_mb: LRU byte budget (MiB) for the solver's cached
+            distance matrices and the per-set stretch rows.
     """
 
     n_intervals: int = 120
@@ -259,12 +268,23 @@ class WeatherSpec:
     seed: int = 7
     graded: bool = False
     frequency_ghz: float = 11.0
+    sample_interval_days: int | None = None
+    delta_k: int = 2
+    cache_mb: float = 256.0
 
     def __post_init__(self) -> None:
         if self.n_intervals <= 0:
             raise ValueError("need at least one interval")
         if self.frequency_ghz <= 0:
             raise ValueError("frequency must be positive")
+        if self.sample_interval_days is not None and not (
+            1 <= self.sample_interval_days <= 365
+        ):
+            raise ValueError("sample_interval_days must be in [1, 365]")
+        if self.delta_k < 0:
+            raise ValueError("delta_k must be >= 0")
+        if self.cache_mb <= 0:
+            raise ValueError("cache_mb must be positive")
 
 
 @dataclass(frozen=True)

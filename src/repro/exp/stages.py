@@ -236,6 +236,13 @@ def _weather_payload(spec: ExperimentSpec) -> dict:
         "seed": int(w.seed),
         "graded": bool(w.graded),
         "frequency_ghz": float(w.frequency_ghz),
+        "sample_interval_days": (
+            None
+            if w.sample_interval_days is None
+            else int(w.sample_interval_days)
+        ),
+        "delta_k": int(w.delta_k),
+        "cache_mb": float(w.cache_mb),
     }
 
 
@@ -259,6 +266,9 @@ def _run_weather(spec: ExperimentSpec, inputs: dict[str, Any]):
         seed=w.seed,
         graded=w.graded,
         frequency_ghz=w.frequency_ghz,
+        sample_interval_days=w.sample_interval_days,
+        delta_k=w.delta_k,
+        cache_mb=w.cache_mb,
     )
 
 
@@ -390,7 +400,12 @@ STAGES: dict[str, Stage] = {
         # memoized solves); binary series are bit-identical to v1, but
         # the graded capacity-loss mean is now vectorized (float-level
         # change) and the payload grew ``frequency_ghz``.
-        version="2",
+        # v3: failure-set queries route through the delta-reuse solver
+        # (near-identical sets derived compositionally — <= 1e-9 vs a
+        # full solve, not bitwise), records gained a ``series="solver"``
+        # counters row, and the payload grew ``sample_interval_days``
+        # (daily-resolution grid), ``delta_k``, and ``cache_mb``.
+        version="3",
         deps=_weather_deps,
         payload=_weather_payload,
         run=_run_weather,

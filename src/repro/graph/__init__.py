@@ -13,6 +13,10 @@ Public surface:
 * :func:`edge_delta_distances` / :func:`edge_delta_with_carry` /
   :func:`closure_with_edges` — the vectorized single-edge insertion
   rule the design heuristics and the evolution backend share.
+* :class:`FailureSetSolver` / :class:`ByteBudgetLRU` — the delta-reuse
+  router over failure-set query streams (``whatif.py``): memo hit,
+  compositional delta from the nearest cached neighbor set, or full
+  solve, under an LRU byte budget.  The weather evaluator rides on it.
 * :func:`graph_kernel_version` — cache-key ingredient for the
   experiment orchestration layer.
 """
@@ -27,10 +31,14 @@ from .kernel import (
     graph_kernel_version,
 )
 from .view import GraphView
+from .whatif import DEFAULT_CACHE_BYTES, ByteBudgetLRU, FailureSetSolver
 
 __all__ = [
+    "DEFAULT_CACHE_BYTES",
     "DENSE_DENSITY_THRESHOLD",
     "KERNEL_VERSION",
+    "ByteBudgetLRU",
+    "FailureSetSolver",
     "GraphKernel",
     "GraphView",
     "closure_with_edges",

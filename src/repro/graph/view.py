@@ -29,6 +29,32 @@ import numpy as np
 from .kernel import DENSE_DENSITY_THRESHOLD, GraphKernel, edge_delta_distances
 
 
+def affected_sources(base: np.ndarray, changes) -> np.ndarray:
+    """Sources whose distance rows can change when edges are worsened.
+
+    ``base`` is an exact all-pairs matrix of the *pre-change* graph and
+    ``changes`` an iterable of ``(a, b, old_weight)`` for the edges
+    about to be worsened or removed.  Source ``s`` is affected only if
+    some changed edge is tight on a shortest path from ``s``
+    (``d[s,a] + w == d[s,b]`` in either orientation).  The comparison
+    carries a 1e-9 relative guard band, so float association error can
+    only cause over-recomputation, never a stale row.
+
+    Shared by :meth:`GraphView.distances_with_edges_removed` and the
+    failure-set solver's delta route
+    (:class:`~repro.graph.whatif.FailureSetSolver`).
+    """
+    n = base.shape[0]
+    affected = np.zeros(n, dtype=bool)
+    for a, b, old in changes:
+        da, db = base[:, a], base[:, b]
+        finite = np.isfinite(da) & np.isfinite(db)
+        tol = 1e-9 * np.maximum(1.0, np.maximum(np.abs(da), np.abs(db)))
+        tight = (da + old <= db + tol) | (db + old <= da + tol)
+        affected |= finite & tight
+    return affected
+
+
 class GraphView:
     """A mutable, versioned view of one evolving graph.
 
@@ -141,7 +167,9 @@ class GraphView:
                 ``(a, b, new_weight)`` with ``new_weight`` at least the
                 current weight.  Entries whose weight does not actually
                 change (already absent, or equal weight) are ignored;
-                an *improvement* is rejected — that is
+                duplicate entries for one undirected edge (in either
+                orientation) are merged, the strongest worsening
+                winning; an *improvement* is rejected — that is
                 :meth:`set_edge`'s delta-update territory.
 
         Instead of re-solving the whole graph, only the sources whose
@@ -164,7 +192,12 @@ class GraphView:
         evaluator's CI gate rides on that.  Returns a read-only array.
         """
         base = self.distances()
-        changes: list[tuple[int, int, float, float]] = []
+        # Deduplicate by undirected edge: the same (a, b) — in either
+        # orientation — listed twice in one batch reads the same ``old``
+        # both times, so applying both entries would double-process the
+        # edge (and make the result depend on entry order when the
+        # weights conflict).  The strongest worsening wins.
+        merged: dict[tuple[int, int], tuple[float, float]] = {}
         for edge in edges:
             if len(edge) == 2:
                 a, b = edge
@@ -183,17 +216,16 @@ class GraphView:
                 )
             if not np.isfinite(old) or new == old:
                 continue  # already absent / unchanged: a no-op
-            changes.append((a, b, old, new))
+            key = (a, b) if a < b else (b, a)
+            seen = merged.get(key)
+            if seen is None or new > seen[1]:
+                merged[key] = (old, new)
+        changes = [(a, b, old, new) for (a, b), (old, new) in merged.items()]
         if not changes:
             return base
-        affected = np.zeros(self.n, dtype=bool)
-        for a, b, old, _ in changes:
-            da, db = base[:, a], base[:, b]
-            finite = np.isfinite(da) & np.isfinite(db)
-            tol = 1e-9 * np.maximum(1.0, np.maximum(np.abs(da), np.abs(db)))
-            tight = (da + old <= db + tol) | (db + old <= da + tol)
-            affected |= finite & tight
-        idx = np.flatnonzero(affected)
+        idx = np.flatnonzero(
+            affected_sources(base, [(a, b, old) for a, b, old, _ in changes])
+        )
         if idx.size == 0:
             return base
         weights = self._weights.copy()

@@ -24,6 +24,7 @@ from .evaluation import (
     link_hop_segments,
     resolve_evaluator,
     sample_interval_days,
+    strided_interval_days,
 )
 from .failures import (
     distances_with_failures,
@@ -64,6 +65,7 @@ __all__ = [
     "link_hop_arrays",
     "resolve_evaluator",
     "sample_interval_days",
+    "strided_interval_days",
     "distances_with_failures",
     "failed_links",
     "link_hop_segments",

@@ -29,8 +29,12 @@ from ..towers.registry import TowerRegistry
 from .evaluation import (
     YearlyWeatherEvaluator,
     resolve_evaluator,
-    sample_interval_days,
+    strided_interval_days,
 )
+
+# The keyword argument ``sample_interval_days`` (the stride) shadows the
+# sampler of the same name inside the functions below.
+from .evaluation import sample_interval_days as _random_interval_days
 from .precipitation import PrecipitationYear
 
 
@@ -85,6 +89,7 @@ def graded_yearly_comparison(
     seed: int = 7,
     frequency_ghz: float | None = None,
     evaluator: YearlyWeatherEvaluator | None = None,
+    sample_interval_days: int | None = None,
 ) -> GradedComparison:
     """Run the paper's binary model and the graded refinement side by side.
 
@@ -94,9 +99,15 @@ def graded_yearly_comparison(
     consume one day sample and one carrier frequency
     (``None`` = 11 GHz) through the shared evaluator — they can never
     desynchronize.  An injected ``evaluator``'s pinned context wins;
-    contradicting ``precipitation``/``frequency_ghz`` raise.
+    contradicting ``precipitation``/``frequency_ghz`` raise.  A set
+    ``sample_interval_days`` stride replaces the random day sample with
+    the deterministic every-Nth-day grid (``n_intervals``/``seed``
+    ignored).
     """
-    days = sample_interval_days(seed, n_intervals)
+    if sample_interval_days is not None:
+        days = strided_interval_days(sample_interval_days)
+    else:
+        days = _random_interval_days(seed, n_intervals)
     evaluator = resolve_evaluator(
         topology, catalog, registry, precipitation, frequency_ghz, evaluator
     )
@@ -122,6 +133,9 @@ def weather_stage_records(
     seed: int = 7,
     graded: bool = False,
     frequency_ghz: float = 11.0,
+    sample_interval_days: int | None = None,
+    delta_k: int = 2,
+    cache_mb: float = 256.0,
 ) -> list[dict]:
     """The yearly weather analysis as tidy records (the weather stage).
 
@@ -130,11 +144,25 @@ def weather_stage_records(
     comparison adds a graded-p99 series and the mean capacity-loss
     fraction paid for keeping links up through modulation downshifts.
     One evaluator serves both models, so the binary pass runs once and
-    the graded pass reuses its storm fields and solve cache.
+    the graded pass reuses its storm fields and failure-set solver.
+
+    A set ``sample_interval_days`` stride replaces the random day
+    sample with the deterministic every-Nth-day grid (``1`` = the full
+    daily-resolution year; ``n_intervals``/``seed`` are then ignored).
+    A final ``series="solver"`` row reports the failure-set solver's
+    route counters (full / delta / memo) and cache occupancy.
     """
-    days = sample_interval_days(seed, n_intervals)
+    if sample_interval_days is not None:
+        days = strided_interval_days(sample_interval_days)
+    else:
+        days = _random_interval_days(seed, n_intervals)
     evaluator = YearlyWeatherEvaluator(
-        topology, catalog, registry, frequency_ghz=frequency_ghz
+        topology,
+        catalog,
+        registry,
+        frequency_ghz=frequency_ghz,
+        delta_k=delta_k,
+        cache_mb=cache_mb,
     )
     binary = evaluator.binary_year(days, fade_margin_db=fade_margin_db)
     rows = [
@@ -163,4 +191,12 @@ def weather_stage_records(
                 "capacity_loss_fraction": capacity_loss,
             }
         )
+    rows.append(
+        {
+            "stage": "weather",
+            "series": "solver",
+            "intervals": int(days.size),
+            **evaluator.solver_stats(),
+        }
+    )
     return rows

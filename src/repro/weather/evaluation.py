@@ -16,16 +16,26 @@ Three properties make the sampled-year loop scale:
   all hops with no attenuation evaluation; storm fields are built once
   per day for all hops via
   :meth:`PrecipitationYear.rain_rate_mm_h_many`, never once per link;
-* **failure-set memoization** — each interval's failed links are
-  canonicalized to a frozenset and every *distinct* set is solved
-  exactly once through
-  :meth:`~repro.graph.GraphView.distances_with_edges_removed` (the
-  affected-source Dijkstra restart); storm days that repeat a failure
-  set — and the many dry days — hit the cache with bit-identical
-  distance matrices.
+* **failure-set reuse** — each interval's failed links are
+  canonicalized to a frozenset and routed through a
+  :class:`~repro.graph.FailureSetSolver`: repeated sets are memo hits,
+  sets within ``delta_k`` links of a previously solved neighbor are
+  derived compositionally (exact edge-insertion restorations plus an
+  affected-source Dijkstra restart for the removals), and only
+  genuinely new neighborhoods pay a full
+  :meth:`~repro.graph.GraphView.distances_with_edges_removed` solve.
+  Storm tracks — where one or two links flap between consecutive days —
+  ride the delta route, which is what makes daily-resolution
+  (365-interval) years affordable at continental scale.  Cached
+  matrices and stretch rows live under an LRU byte budget
+  (``cache_mb``), so long runs cannot exhaust memory.
 
-The evaluator's results are bit-identical to the pre-existing
-per-interval re-solve path (CI-gated by ``benchmarks/bench_weather.py``).
+With ``delta_k=0`` the evaluator reproduces the PR 5 memo-only path
+bit-identically (CI-gated by ``benchmarks/bench_weather.py``); the
+delta route is gated to <= 1e-9 against it by
+``benchmarks/bench_storm_track.py``.  Route selection is deterministic,
+so two identically configured evaluators fed the same query sequence
+return bitwise-identical arrays.
 """
 
 from __future__ import annotations
@@ -35,7 +45,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.topology import Topology
-from ..graph import GraphView
+from ..graph import ByteBudgetLRU, FailureSetSolver
 from ..links.builder import LinkCatalog
 from ..towers.registry import TowerRegistry
 from .attenuation import (
@@ -63,6 +73,23 @@ def sample_interval_days(seed: int, n_intervals: int) -> np.ndarray:
         size=n_intervals,
         replace=n_intervals > DAYS_PER_YEAR,
     )
+
+
+def strided_interval_days(sample_interval_days: int) -> np.ndarray:
+    """A deterministic day grid over the year: every Nth day, in order.
+
+    ``sample_interval_days=1`` is the full daily-resolution year (365
+    intervals) — the storm-track delta solver's home turf, since
+    consecutive days differ by the few links a moving storm flips.
+    Replaces :func:`sample_interval_days`'s random draw when an
+    analysis asks for it (no seed involved).
+    """
+    step = int(sample_interval_days)
+    if not (1 <= step <= DAYS_PER_YEAR):
+        raise ValueError(
+            f"sample_interval_days must be in [1, {DAYS_PER_YEAR}], got {step}"
+        )
+    return np.arange(1, DAYS_PER_YEAR + 1, step, dtype=int)
 
 
 @dataclass(frozen=True)
@@ -206,13 +233,20 @@ class YearlyWeatherEvaluator:
 
     One evaluator pins one ``(topology, precipitation, frequency)``
     context; the binary and graded passes share its per-day storm
-    fields and its failure-set solve cache, so e.g. the graded
-    comparison's two passes pay each distinct failure set only once
-    between them.
+    fields and its failure-set solver, so e.g. the graded comparison's
+    two passes pay each distinct failure set only once between them.
 
-    Attributes:
-        solve_count: distinct failure sets actually solved so far.
-        cache_hits: failure-set lookups served from the memo.
+    Args:
+        delta_k: the failure-set solver's neighbor radius — a query
+            within ``delta_k`` links (symmetric difference) of a
+            previously solved set is derived compositionally instead of
+            fully solved.  ``0`` reproduces the PR 5 memo-only path
+            bit-identically.
+        restore_k: the solver's wider budget for cached *supersets* of
+            a query (restoration-only deltas); also sizes the padded
+            union solves.  See :class:`~repro.graph.FailureSetSolver`.
+        cache_mb: LRU byte budget (MiB), applied separately to the
+            solver's distance matrices and the per-set stretch rows.
     """
 
     def __init__(
@@ -222,10 +256,18 @@ class YearlyWeatherEvaluator:
         registry: TowerRegistry,
         precipitation: PrecipitationYear | None = None,
         frequency_ghz: float = 11.0,
+        delta_k: int = 2,
+        restore_k: int = 12,
+        cache_mb: float = 256.0,
     ) -> None:
+        if cache_mb <= 0:
+            raise ValueError("cache_mb must be positive")
         self.topology = topology
         self.precipitation = precipitation or PrecipitationYear()
         self.frequency_ghz = float(frequency_ghz)
+        self.delta_k = int(delta_k)
+        self.restore_k = int(restore_k)
+        self.cache_mb = float(cache_mb)
         self.hops = link_hop_arrays(topology, catalog, registry)
         design = topology.design
         geo = design.geodesic_km
@@ -233,14 +275,68 @@ class YearlyWeatherEvaluator:
         self._valid = geo[self._iu] > 0
         self._geo_flat = geo[self._iu]
         self._fiber_km = design.fiber_km
-        self._view: GraphView | None = None
-        base = topology.effective_distance_matrix()
-        self._dist_cache: dict[frozenset, np.ndarray] = {frozenset(): base}
-        self._stretch_cache: dict[frozenset, np.ndarray] = {}
+        self._solver: FailureSetSolver | None = None
+        self._stretch_cache: ByteBudgetLRU = ByteBudgetLRU(
+            self.cache_mb * 2**20
+        )
+        self._stretch_cache.pin(frozenset())
         self._critical_cache: dict[float, CriticalRainRates] = {}
         self._rain_cache: dict[int, np.ndarray] = {}
-        self.solve_count = 0
-        self.cache_hits = 0
+
+    @property
+    def solver(self) -> FailureSetSolver:
+        """The failure-set solver (built on first use).
+
+        A failed MW link reverts to its always-available direct fiber,
+        so the solver's failed weight for link ``(a, b)`` is
+        ``fiber_km[a, b]``.  The healthy entry is seeded from the
+        topology's memoized distances without a solve.
+        """
+        if self._solver is None:
+            fiber = self._fiber_km
+            self._solver = FailureSetSolver(
+                self.topology.graph_view(),
+                fail_weight=lambda a, b: float(fiber[a, b]),
+                delta_k=self.delta_k,
+                restore_k=self.restore_k,
+                cache_bytes=self.cache_mb * 2**20,
+                base_distances=self.topology.effective_distance_matrix(),
+            )
+        return self._solver
+
+    @property
+    def solve_count(self) -> int:
+        """Queries that required computation (full + delta routes).
+
+        Union solves — supersets computed to serve a query — piggyback
+        on their query's fallback and are not separate queries, so they
+        are not double-counted here.
+        """
+        solver = self._solver
+        if solver is None:
+            return 0
+        return (
+            solver.full_solves + solver.delta_solves - solver.union_solves
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        """Failure-set lookups served from the memo."""
+        return 0 if self._solver is None else self._solver.memo_hits
+
+    def solver_stats(self) -> dict:
+        """The solver's route counters (zeros before the first query)."""
+        if self._solver is None:
+            return {
+                "full_solves": 0,
+                "delta_solves": 0,
+                "memo_hits": 0,
+                "union_solves": 0,
+                "cached_sets": 0,
+                "cache_bytes": 0,
+                "evictions": 0,
+            }
+        return self._solver.stats()
 
     # -- per-day rain over all hops ------------------------------------
 
@@ -291,37 +387,26 @@ class YearlyWeatherEvaluator:
     # -- memoized solves ------------------------------------------------
 
     def distances_for(self, failed: frozenset) -> np.ndarray:
-        """All-pairs distances with ``failed`` MW links down (memoized).
+        """All-pairs distances with ``failed`` MW links down (read-only).
 
-        Each failed link reverts to its always-available direct fiber;
-        each *distinct* failure set costs one
-        :meth:`~repro.graph.GraphView.distances_with_edges_removed`
-        batch query, after which repeats are served bit-identically
-        from the cache.
+        Each failed link reverts to its always-available direct fiber.
+        The query routes through the failure-set solver: repeats are
+        bit-identical memo hits, near-repeats (within ``delta_k``
+        links of a cached set) are derived compositionally, and only
+        new neighborhoods pay a full batch solve.
         """
-        cached = self._dist_cache.get(failed)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        if self._view is None:
-            self._view = self.topology.graph_view()
-        self.solve_count += 1
-        edges = [
-            (a, b, float(self._fiber_km[a, b])) for a, b in sorted(failed)
-        ]
-        dist = self._view.distances_with_edges_removed(edges)
-        self._dist_cache[failed] = dist
-        return dist
+        return self.solver.distances_for(failed)
 
     def _stretches(self, dist: np.ndarray) -> np.ndarray:
         return (dist[self._iu] / self._geo_flat)[self._valid]
 
     def stretches_for(self, failed: frozenset) -> np.ndarray:
-        """Per-pair stretch row under a failure set (memoized)."""
-        cached = self._stretch_cache.get(failed)
+        """Per-pair stretch row under a failure set (memoized, LRU)."""
+        key = frozenset(failed)
+        cached = self._stretch_cache.get(key)
         if cached is None:
-            cached = self._stretches(self.distances_for(failed))
-            self._stretch_cache[failed] = cached
+            cached = self._stretches(self.distances_for(key))
+            self._stretch_cache.put(key, cached)
         return cached
 
     # -- the two passes -------------------------------------------------

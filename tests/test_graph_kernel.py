@@ -520,6 +520,29 @@ class TestBatchRemoval:
             modified[a, b] = modified[b, a] = nw
         assert np.allclose(result, GraphKernel(modified).distances(), rtol=1e-12)
 
+    def test_duplicate_entries_deduplicated(self):
+        """Regression: a duplicated (a, b) must not be processed twice.
+
+        Both duplicates read the same ``old`` weight, so applying both
+        would double-process the edge; with conflicting weights the
+        result depended on entry order.  Duplicates — in either
+        orientation — now merge, the strongest worsening winning.
+        """
+        w = random_weights(20, 0.15, 9)
+        view = GraphView(w)
+        worse = float(w[0, 1]) * 2.0
+        worst = float(w[0, 1]) * 5.0
+        for batch in (
+            [(0, 1, worse), (0, 1, worse)],          # exact duplicate
+            [(0, 1, worse), (1, 0, worse)],          # mirrored duplicate
+            [(0, 1, worse), (0, 1, worst)],          # conflict, either order
+            [(0, 1, worst), (1, 0, worse)],
+        ):
+            result = view.distances_with_edges_removed(batch)
+            strongest = max(new for _, _, new in batch)
+            expected = view.distances_with_edges_removed([(0, 1, strongest)])
+            assert np.array_equal(result, expected)
+
     def test_view_not_mutated(self):
         w = random_weights(15, 0.3, 3)
         view = GraphView(w)

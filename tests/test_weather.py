@@ -330,6 +330,17 @@ class TestIntervalSampler:
         with pytest.raises(ValueError):
             sample_interval_days(7, 0)
 
+    def test_strided_grid(self):
+        from repro.weather import strided_interval_days
+
+        daily = strided_interval_days(1)
+        assert np.array_equal(daily, np.arange(1, 366))
+        weekly = strided_interval_days(7)
+        assert weekly[0] == 1 and np.all(np.diff(weekly) == 7)
+        for bad in (0, 366, -1):
+            with pytest.raises(ValueError):
+                strided_interval_days(bad)
+
 
 class TestWeatherEvaluator:
     @pytest.fixture(scope="class")
@@ -353,8 +364,12 @@ class TestWeatherEvaluator:
         precipitation = PrecipitationYear()
         days = sample_interval_days(3, 40)
         segments = link_hop_segments(topology, sc.catalog, sc.registry)
+        # delta_k=0 pins the memo-only route, whose matrices are
+        # bit-identical to the reference loop; the delta route is gated
+        # to <= 1e-9 separately (test below, plus bench_storm_track).
         evaluator = YearlyWeatherEvaluator(
-            topology, sc.catalog, sc.registry, precipitation=precipitation
+            topology, sc.catalog, sc.registry, precipitation=precipitation,
+            delta_k=0,
         )
         result = evaluator.binary_year(days, fade_margin_db=30.0)
         geo = topology.design.geodesic_km
@@ -368,6 +383,36 @@ class TestWeatherEvaluator:
             )[valid]
             row = evaluator.stretches_for(frozenset(failed))
             assert np.array_equal(row, expected)
+
+    def test_default_delta_evaluator_matches_reference_to_1e9(
+        self, small_us_scenario, topology
+    ):
+        """The default (delta-reuse) evaluator stays within 1e-9 relative."""
+        from repro.weather import (
+            YearlyWeatherEvaluator,
+            link_hop_segments,
+            sample_interval_days,
+        )
+        from repro.weather.failures import distances_with_failures, failed_links
+
+        sc = small_us_scenario
+        precipitation = PrecipitationYear()
+        days = sample_interval_days(3, 40)
+        segments = link_hop_segments(topology, sc.catalog, sc.registry)
+        evaluator = YearlyWeatherEvaluator(
+            topology, sc.catalog, sc.registry, precipitation=precipitation
+        )
+        evaluator.binary_year(days, fade_margin_db=30.0)
+        geo = topology.design.geodesic_km
+        iu = np.triu_indices(topology.design.n_sites, k=1)
+        valid = geo[iu] > 0
+        for day in days:
+            failed = failed_links(segments, precipitation, int(day))
+            expected = (
+                distances_with_failures(topology, failed)[iu] / geo[iu]
+            )[valid]
+            row = evaluator.stretches_for(frozenset(failed))
+            np.testing.assert_allclose(row, expected, rtol=1e-9, atol=1e-9)
 
     def test_failure_set_memoization(self, small_us_scenario, topology):
         from repro.weather import YearlyWeatherEvaluator, sample_interval_days
@@ -384,10 +429,7 @@ class TestWeatherEvaluator:
         # ... with bit-identical distance matrices (the same arrays).
         assert np.array_equal(first.p99, second.p99)
         assert np.array_equal(first.worst, second.worst)
-        sets = [frozenset()] + [
-            s for s in evaluator._dist_cache if s
-        ]
-        for failure_set in sets:
+        for failure_set in evaluator.solver.cached_failure_sets():
             assert evaluator.distances_for(failure_set) is evaluator.distances_for(
                 failure_set
             )
@@ -482,3 +524,100 @@ class TestWeatherEvaluator:
                 precipitation=PrecipitationYear(seed=99),
                 n_intervals=5, seed=2, evaluator=ev,
             )
+
+
+class TestDailyResolution:
+    """The strided-day grid and the solver counters in stage records."""
+
+    @pytest.fixture(scope="class")
+    def topology(self, small_us_scenario):
+        from repro.core import solve_heuristic
+
+        sc = small_us_scenario
+        return solve_heuristic(
+            sc.design_input(), 800.0, ilp_refinement=False
+        ).topology
+
+    def test_daily_year_end_to_end(self, small_us_scenario, topology):
+        """A full 365-interval year runs through the analysis entry point."""
+        from repro.weather import yearly_stretch_analysis
+
+        sc = small_us_scenario
+        result = yearly_stretch_analysis(
+            topology, sc.catalog, sc.registry, sample_interval_days=1
+        )
+        assert result.links_failed_per_interval.shape == (365,)
+        assert np.all(result.best <= result.p99 + 1e-9)
+        assert np.all(result.worst <= result.fiber + 1e-9)
+
+    def test_stride_overrides_random_sampling(
+        self, small_us_scenario, topology
+    ):
+        from repro.weather import yearly_stretch_analysis
+
+        sc = small_us_scenario
+        # seed/n_intervals are ignored once the stride is set: two
+        # different seeds give identical (deterministic-grid) results.
+        a = yearly_stretch_analysis(
+            topology, sc.catalog, sc.registry,
+            n_intervals=5, seed=1, sample_interval_days=30,
+        )
+        b = yearly_stretch_analysis(
+            topology, sc.catalog, sc.registry,
+            n_intervals=9, seed=2, sample_interval_days=30,
+        )
+        assert a.links_failed_per_interval.shape[0] == len(range(1, 366, 30))
+        assert np.array_equal(a.p99, b.p99)
+        assert np.array_equal(a.worst, b.worst)
+
+    def test_stage_records_report_solver_counters(
+        self, small_us_scenario, topology
+    ):
+        from repro.weather import weather_stage_records
+
+        sc = small_us_scenario
+        rows = weather_stage_records(
+            topology, sc.catalog, sc.registry, sample_interval_days=7
+        )
+        series = [row["series"] for row in rows]
+        assert series == ["best", "p99", "worst", "fiber", "solver"]
+        solver = rows[-1]
+        assert solver["intervals"] == len(range(1, 366, 7))
+        for key in (
+            "full_solves", "delta_solves", "memo_hits",
+            "cached_sets", "cache_bytes", "evictions",
+        ):
+            assert solver[key] >= 0
+        # Every distinct non-empty set was solved somehow, and the
+        # dry/repeat days all hit the memo.
+        assert solver["full_solves"] + solver["delta_solves"] >= 1
+        assert solver["memo_hits"] >= 1
+        # Route totals account for every distances_for() lookup.
+        lookups = (
+            solver["full_solves"]
+            + solver["delta_solves"]
+            + solver["memo_hits"]
+        )
+        assert lookups >= 1
+
+    def test_memo_only_and_delta_stage_records_agree(
+        self, small_us_scenario, topology
+    ):
+        from repro.weather import weather_stage_records
+
+        sc = small_us_scenario
+        delta = weather_stage_records(
+            topology, sc.catalog, sc.registry, sample_interval_days=7
+        )
+        memo = weather_stage_records(
+            topology, sc.catalog, sc.registry,
+            sample_interval_days=7, delta_k=0,
+        )
+        for row_d, row_m in zip(delta[:-1], memo[:-1]):
+            assert row_d["series"] == row_m["series"]
+            np.testing.assert_allclose(
+                [row_d["median"], row_d["p95"]],
+                [row_m["median"], row_m["p95"]],
+                rtol=1e-9,
+            )
+        assert memo[-1]["delta_solves"] == 0
