@@ -352,6 +352,8 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
             demand_seed=args.demand_seed,
             users_millions=args.users_millions,
             transport=args.transport,
+            workload=args.workload,
+            profile=args.profile,
         ),
     )
     run = run_experiment(spec, store=_store_from_args(args))
@@ -360,12 +362,20 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
           f"budget {args.budget:.0f} towers)")
     print(f"engine:    {args.engine} ({args.transport}, "
           f"{args.demand} demand)")
-    print("load  mean_delay_ms  loss_rate  max_link_util")
+    header = "load  mean_delay_ms  loss_rate  max_link_util"
+    if args.profile:
+        header += "  setup_ms  fill_ms  freeze_ms"
+    print(header)
     for row in run.records:
         if row["stage"] != "netsim":
             continue
-        print(f"{row['load']:4.2f}  {row['mean_delay_ms']:13.3f}  "
-              f"{row['loss_rate']:9.4f}  {row['max_link_utilization']:13.3f}")
+        line = (f"{row['load']:4.2f}  {row['mean_delay_ms']:13.3f}  "
+                f"{row['loss_rate']:9.4f}  {row['max_link_utilization']:13.3f}")
+        if args.profile and "setup_s" in row:
+            line += (f"  {row['setup_s'] * 1e3:8.2f}  "
+                     f"{row['fill_s'] * 1e3:7.2f}  "
+                     f"{row['freeze_s'] * 1e3:9.2f}")
+        print(line)
     return 0
 
 
@@ -582,13 +592,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=800.0)
     p.add_argument("--gbps", type=float, default=100.0,
                    help="design aggregate the network is provisioned for")
-    from .exp.spec import DEMAND_MODELS, ENGINES, TRANSPORTS
+    from .exp.spec import DEMAND_MODELS, ENGINES, TRANSPORTS, WORKLOADS
 
     p.add_argument(
         "--engine",
         default="packet",
         choices=ENGINES,
         help="packet: per-packet simulation; fluid: max-min fast path",
+    )
+    p.add_argument(
+        "--workload",
+        default="object",
+        choices=WORKLOADS,
+        help="object: reference per-flow FluidFlow list; table: "
+             "array-native flow tables (fluid engine only, "
+             "bit-identical results)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="add fluid setup/fill/freeze wall-clock timings to each "
+             "record row (timings are nondeterministic; default records "
+             "stay byte-identical)",
     )
     p.add_argument("--loads", default="0.3,0.6,0.9",
                    help="comma-separated offered-load fractions")

@@ -46,6 +46,12 @@ DEMAND_MODELS = ("design", "users")
 #: each flow at its Mathis-model rate (fluid engine only).
 TRANSPORTS = ("udp", "tcp")
 
+#: How the fluid workload is materialized: "object" builds the
+#: reference per-flow ``FluidFlow`` list; "table" keeps flows in
+#: struct-of-arrays tables end to end (fluid engine only, bit-identical
+#: results, million-flow-capable setup).
+WORKLOADS = ("object", "table")
+
 
 def canonical_json(obj: Any) -> str:
     """The canonical JSON text of a plain dict/list/scalar tree.
@@ -192,6 +198,13 @@ class NetsimSpec:
             counts (users model only).
         transport: "udp" (open-loop offers) or "tcp" (Mathis macro-model
             caps; requires ``engine="fluid"``).
+        workload: "object" (reference per-flow ``FluidFlow`` list) or
+            "table" (array-native flow tables; requires
+            ``engine="fluid"``; bit-identical results).
+        profile: include the fluid engine's per-phase wall-clock
+            timings (setup/fill/freeze) in each record row.  Off by
+            default: timings are nondeterministic, and default records
+            must stay byte-identical across runs.
     """
 
     loads: tuple[float, ...] = (0.3, 0.6, 0.9)
@@ -204,6 +217,8 @@ class NetsimSpec:
     demand_seed: int = 0
     users_millions: float | None = None
     transport: str = "udp"
+    workload: str = "object"
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.loads, (tuple, list)):
@@ -238,6 +253,18 @@ class NetsimSpec:
                 "transport='tcp' is a fluid-engine macro-model; "
                 "use engine='fluid' (the packet engine has TcpFlow)"
             )
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r} "
+                f"(choose from {', '.join(WORKLOADS)})"
+            )
+        if self.workload == "table" and self.engine != "fluid":
+            raise ValueError(
+                "workload='table' is the fluid engine's array-native "
+                "fast path; use engine='fluid'"
+            )
+        if not isinstance(self.profile, bool):
+            raise ValueError("profile must be a boolean")
 
 
 @dataclass(frozen=True)

@@ -185,6 +185,8 @@ def _netsim_payload(spec: ExperimentSpec) -> dict:
             None if ns.users_millions is None else float(ns.users_millions)
         ),
         "transport": ns.transport,
+        "workload": ns.workload,
+        "profile": bool(ns.profile),
     }
 
 
@@ -213,6 +215,8 @@ def _run_netsim(spec: ExperimentSpec, inputs: dict[str, Any]):
         demand_seed=ns.demand_seed,
         users_millions=ns.users_millions,
         transport=ns.transport,
+        workload=ns.workload,
+        profile=ns.profile,
     )
 
 
@@ -388,7 +392,11 @@ STAGES: dict[str, Stage] = {
         # up to float noise, but duplicate parallel links now aggregate
         # instead of overwriting), record rows grew transport/demand_model,
         # and the payload grew the demand-model and transport knobs.
-        version="2",
+        # v3: array-native flow tables — the payload grew the workload
+        # (object/table) and profile knobs, load-curve invariants are
+        # hoisted out of the per-load loop (values unchanged), and
+        # profile=True rows carry setup/fill/freeze timing counters.
+        version="3",
         deps=lambda spec: ("design",),
         payload=_netsim_payload,
         run=_run_netsim,

@@ -5,9 +5,11 @@ from .experiments import (
     DEMAND_MODELS,
     ENGINES,
     TRANSPORTS,
+    WORKLOADS,
     FailureRerouteResult,
     UdpExperimentResult,
     hybrid_routing_graph,
+    kept_flow_table,
     run_failure_reroute_experiment,
     run_load_curve,
     build_edge_specs,
@@ -17,11 +19,15 @@ from .fluid import (
     SOLVERS,
     FluidFlow,
     FluidResult,
+    FluidTableResult,
     aggregate_capacities,
+    flows_from_table,
     max_min_rates,
+    max_min_rates_table,
     max_min_rates_vectorized,
     solve_fluid,
 )
+from .flowtable import CommodityTable, FlowTable, PathPool
 from .tcpmodel import MATHIS_C, mathis_rate_bps, solve_fluid_tcp
 from .flows import DEFAULT_UDP_PACKET_BYTES, UdpFlow
 from .links import DEFAULT_QUEUE_PACKETS, Link
@@ -45,15 +51,23 @@ __all__ = [
     "MATHIS_C",
     "SOLVERS",
     "TRANSPORTS",
+    "WORKLOADS",
+    "CommodityTable",
     "Event",
+    "FlowTable",
     "FluidFlow",
     "FluidResult",
+    "FluidTableResult",
+    "PathPool",
     "RoutingCache",
     "Simulator",
     "aggregate_capacities",
+    "flows_from_table",
     "hybrid_routing_graph",
+    "kept_flow_table",
     "mathis_rate_bps",
     "max_min_rates",
+    "max_min_rates_table",
     "max_min_rates_vectorized",
     "solve_fluid",
     "solve_fluid_tcp",

@@ -16,7 +16,7 @@ hence queueing behavior, are unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import networkx as nx
 import numpy as np
@@ -28,18 +28,20 @@ from ..traffic.matrices import user_demand_matrix
 from .engine import Simulator
 from .fluid import FluidFlow, solve_fluid
 from .flows import DEFAULT_UDP_PACKET_BYTES, UdpFlow
+from .flowtable import FlowTable, PathPool
 from .monitor import FlowMonitor
 from .network import EdgeSpec, Network
 from .routing import RoutingCache
 from .tcpmodel import solve_fluid_tcp
 
-# The engine/demand-model/transport lists are owned by the (dependency-
-# light) spec module so the spec layer, this package, and the CLI
-# validate against one copy.
+# The engine/demand-model/transport/workload lists are owned by the
+# (dependency-light) spec module so the spec layer, this package, and
+# the CLI validate against one copy.
 from ..exp.spec import (  # noqa: E402 - re-exported for callers
     DEMAND_MODELS,
     ENGINES,
     TRANSPORTS,
+    WORKLOADS,
 )
 
 
@@ -71,12 +73,16 @@ class UdpExperimentResult:
         mean_delay_ms: mean end-to-end packet delay.
         loss_rate: network-wide packet loss fraction.
         max_link_utilization: highest per-link utilization observed.
+        timings_s: fluid-engine phase timings (``setup_s`` / ``fill_s``
+            / ``freeze_s``) when the fluid engine produced this point;
+            None for the packet engine.  Excluded from equality.
     """
 
     input_rate_fraction: float
     mean_delay_ms: float
     loss_rate: float
     max_link_utilization: float
+    timings_s: dict[str, float] | None = field(default=None, compare=False)
 
 
 def build_edge_specs(
@@ -168,6 +174,179 @@ def kept_flow_shares(
     return kept, kept_mass
 
 
+def kept_flow_table(
+    routes: dict[tuple[int, int], list[int]],
+    traffic: np.ndarray,
+    node_names: set[str],
+    min_flow_rate_fraction: float,
+) -> tuple[PathPool, np.ndarray, np.ndarray, float]:
+    """Array-native :func:`kept_flow_shares`: no per-flow tuples.
+
+    Returns ``(pool, path_ids, shares, kept_mass)``: the route pool,
+    the kept pairs' pool rows (in route-dict order, the same order
+    ``kept_flow_shares`` emits), their demand shares, and the kept
+    demand mass.  The shares and the mass are computed with the exact
+    scalar expressions of the object path, so downstream demands — and
+    therefore rates — are bit-identical between the two front-ends.
+    """
+    total_h = np.triu(traffic, k=1).sum()
+    pool = PathPool.from_routes(routes, n_sites=traffic.shape[0])
+    if pool.n_paths == 0:
+        return pool, np.empty(0, np.int64), np.empty(0, float), 0.0
+    pairs = np.fromiter(
+        (v for pair in routes for v in pair),
+        dtype=np.int64,
+        count=2 * len(routes),
+    ).reshape(-1, 2)
+    h = traffic[pairs[:, 0], pairs[:, 1]] / total_h
+    allowed = np.fromiter(
+        (name in node_names for name in pool.node_names),
+        dtype=bool,
+        count=len(pool.node_names),
+    )
+    keep = ~(h < min_flow_rate_fraction) & pool.within_mask(allowed)
+    # Sequential sum in kept order — the same accumulation (and the
+    # same float) as the object path's ``kept_mass += h`` loop.
+    kept_mass = float(sum(h[keep].tolist()))
+    return pool, np.flatnonzero(keep).astype(np.int64), h[keep], kept_mass
+
+
+@dataclass(frozen=True)
+class _ExperimentSetup:
+    """Per-load-point invariants of a load sweep, computed once.
+
+    Everything here depends only on the topology, the demand model, and
+    the provisioning knobs — not on the load fraction — so a load curve
+    derives capacities, routes the demand matrix, and filters the kept
+    flows exactly once instead of once per load point.
+    """
+
+    specs: list[EdgeSpec]
+    node_names: set[str]
+    routes: dict[tuple[int, int], list[int]]
+    offered_aggregate_gbps: float
+    rate_scale: float
+    kept_mass: float
+    # Object workload: (pair, node path, share) triples.
+    kept: list[tuple[tuple[int, int], tuple[str, ...], float]] | None
+    # Table workload: route pool + kept pool rows + shares.
+    pool: PathPool | None
+    path_ids: np.ndarray | None
+    shares: np.ndarray | None
+
+    def offered_bps(self, input_rate_fraction: float) -> float:
+        return (
+            self.offered_aggregate_gbps
+            * 1e9
+            * self.rate_scale
+            * input_rate_fraction
+        )
+
+
+def _validate_experiment_params(
+    input_rate_fraction: float,
+    engine: str,
+    demand_model: str,
+    transport: str,
+    workload: str,
+) -> None:
+    """The shared argument checks, in their historical order."""
+    if not 0 < input_rate_fraction <= 1.5:
+        raise ValueError("input rate fraction out of range")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
+    if demand_model not in DEMAND_MODELS:
+        raise ValueError(
+            f"unknown demand model {demand_model!r} "
+            f"(choose from {DEMAND_MODELS})"
+        )
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r} (choose from {TRANSPORTS})"
+        )
+    if transport == "tcp" and engine != "fluid":
+        raise ValueError(
+            "transport='tcp' is a fluid-engine macro-model; the packet "
+            "engine simulates TCP per-packet via TcpFlow instead"
+        )
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r} (choose from {WORKLOADS})"
+        )
+    if workload == "table" and engine != "fluid":
+        raise ValueError(
+            "workload='table' is the fluid engine's array-native fast "
+            "path; use engine='fluid'"
+        )
+
+
+def _prepare_experiment(
+    topology: Topology,
+    design_aggregate_gbps: float,
+    offered_traffic: np.ndarray | None,
+    rate_scale: float,
+    min_flow_rate_fraction: float,
+    capacity_mode: str,
+    demand_model: str,
+    demand_hour_utc: float,
+    demand_seed: int,
+    users_millions: float | None,
+    workload: str,
+) -> _ExperimentSetup:
+    """Build the load-invariant half of an experiment."""
+    design = topology.design
+    if demand_model == "users":
+        if offered_traffic is not None:
+            raise ValueError(
+                "demand_model='users' builds its own traffic matrix; "
+                "it conflicts with an explicit offered_traffic"
+            )
+        traffic, user_aggregate_gbps = user_demand_matrix(
+            list(design.sites),
+            hour_utc=demand_hour_utc,
+            seed=demand_seed,
+            users_millions=users_millions,
+        )
+        offered_aggregate_gbps = user_aggregate_gbps
+    else:
+        traffic = (
+            offered_traffic if offered_traffic is not None else design.traffic
+        )
+        offered_aggregate_gbps = design_aggregate_gbps
+    specs = build_edge_specs(
+        topology,
+        design_aggregate_gbps,
+        rate_scale=rate_scale,
+        capacity_mode=capacity_mode,
+    )
+    node_names = {spec.a for spec in specs} | {spec.b for spec in specs}
+    routes = topology.routed_paths()
+    if workload == "table":
+        pool, path_ids, shares, kept_mass = kept_flow_table(
+            routes, traffic, node_names, min_flow_rate_fraction
+        )
+        kept = None
+    else:
+        kept, kept_mass = kept_flow_shares(
+            routes, traffic, node_names, min_flow_rate_fraction
+        )
+        pool = path_ids = shares = None
+    if kept_mass <= 0:
+        raise ValueError("no flows above the rate cutoff")
+    return _ExperimentSetup(
+        specs=specs,
+        node_names=node_names,
+        routes=routes,
+        offered_aggregate_gbps=offered_aggregate_gbps,
+        rate_scale=rate_scale,
+        kept_mass=kept_mass,
+        kept=kept,
+        pool=pool,
+        path_ids=path_ids,
+        shares=shares,
+    )
+
+
 def run_udp_experiment(
     topology: Topology,
     design_aggregate_gbps: float,
@@ -184,6 +363,8 @@ def run_udp_experiment(
     demand_seed: int = 0,
     users_millions: float | None = None,
     transport: str = "udp",
+    workload: str = "object",
+    _setup: _ExperimentSetup | None = None,
 ) -> UdpExperimentResult:
     """One Fig 5 / Fig 11 load point.
 
@@ -219,86 +400,75 @@ def run_udp_experiment(
         transport: ``"udp"`` offers demand open-loop; ``"tcp"`` caps
             each flow at its Mathis macro-model rate and iterates loss
             to a fixed point (fluid engine only).
+        workload: ``"object"`` builds the reference ``FluidFlow`` list;
+            ``"table"`` keeps the workload in arrays end to end (fluid
+            engine only) — bit-identical results, no per-flow objects.
     """
-    if not 0 < input_rate_fraction <= 1.5:
-        raise ValueError("input rate fraction out of range")
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r} (choose from {ENGINES})")
-    if demand_model not in DEMAND_MODELS:
-        raise ValueError(
-            f"unknown demand model {demand_model!r} "
-            f"(choose from {DEMAND_MODELS})"
-        )
-    if transport not in TRANSPORTS:
-        raise ValueError(
-            f"unknown transport {transport!r} (choose from {TRANSPORTS})"
-        )
-    if transport == "tcp" and engine != "fluid":
-        raise ValueError(
-            "transport='tcp' is a fluid-engine macro-model; the packet "
-            "engine simulates TCP per-packet via TcpFlow instead"
-        )
-    design = topology.design
-    if demand_model == "users":
-        if offered_traffic is not None:
-            raise ValueError(
-                "demand_model='users' builds its own traffic matrix; "
-                "it conflicts with an explicit offered_traffic"
-            )
-        traffic, user_aggregate_gbps = user_demand_matrix(
-            list(design.sites),
-            hour_utc=demand_hour_utc,
-            seed=demand_seed,
-            users_millions=users_millions,
-        )
-        offered_aggregate_gbps = user_aggregate_gbps
-    else:
-        traffic = (
-            offered_traffic if offered_traffic is not None else design.traffic
-        )
-        offered_aggregate_gbps = design_aggregate_gbps
-    specs = build_edge_specs(
-        topology,
-        design_aggregate_gbps,
-        rate_scale=rate_scale,
-        capacity_mode=capacity_mode,
+    _validate_experiment_params(
+        input_rate_fraction, engine, demand_model, transport, workload
     )
-    node_names = {spec.a for spec in specs} | {spec.b for spec in specs}
-    routes = topology.routed_paths()
-    offered_bps = (
-        offered_aggregate_gbps * 1e9 * rate_scale * input_rate_fraction
+    setup = (
+        _setup
+        if _setup is not None
+        else _prepare_experiment(
+            topology,
+            design_aggregate_gbps,
+            offered_traffic,
+            rate_scale,
+            min_flow_rate_fraction,
+            capacity_mode,
+            demand_model,
+            demand_hour_utc,
+            demand_seed,
+            users_millions,
+            workload,
+        )
     )
-    kept, kept_mass = kept_flow_shares(
-        routes, traffic, node_names, min_flow_rate_fraction
-    )
-    if kept_mass <= 0:
-        raise ValueError("no flows above the rate cutoff")
+    specs = setup.specs
+    kept_mass = setup.kept_mass
+    offered_bps = setup.offered_bps(input_rate_fraction)
 
     if engine == "fluid":
-        fluid_flows = [
-            FluidFlow(
-                flow_id=flow_id,
-                path=node_path,
-                offered_bps=offered_bps * h / kept_mass,
+        if workload == "table":
+            # Array fast path: per-flow demands, positivity filter, and
+            # flow ids (positions in the kept list, exactly like the
+            # object path's enumerate) all stay in numpy.
+            demands = offered_bps * setup.shares / kept_mass
+            positive = demands > 0
+            flow_table = FlowTable(
+                pool=setup.pool,
+                path_id=setup.path_ids[positive],
+                demand_bps=demands[positive],
+                flow_ids=np.flatnonzero(positive).astype(np.int64),
             )
-            for flow_id, (_pair, node_path, h) in enumerate(kept)
-            if offered_bps * h / kept_mass > 0
-        ]
+            flows = flow_table.to_commodities()
+        else:
+            flows = [
+                FluidFlow(
+                    flow_id=flow_id,
+                    path=node_path,
+                    offered_bps=offered_bps * h / kept_mass,
+                )
+                for flow_id, (_pair, node_path, h) in enumerate(setup.kept)
+                if offered_bps * h / kept_mass > 0
+            ]
         if transport == "tcp":
             result = solve_fluid_tcp(
-                specs, fluid_flows, packet_bytes=DEFAULT_UDP_PACKET_BYTES
+                specs, flows, packet_bytes=DEFAULT_UDP_PACKET_BYTES
             )
         else:
             result = solve_fluid(
-                specs, fluid_flows, packet_bytes=DEFAULT_UDP_PACKET_BYTES
+                specs, flows, packet_bytes=DEFAULT_UDP_PACKET_BYTES
             )
         return UdpExperimentResult(
             input_rate_fraction=input_rate_fraction,
             mean_delay_ms=result.mean_latency_s() * 1000.0,
             loss_rate=result.loss_rate,
             max_link_utilization=result.max_link_utilization,
+            timings_s=result.timings_s,
         )
 
+    kept = setup.kept
     sim = Simulator()
     net = Network.from_edges(sim, specs)
     monitor = FlowMonitor(sim)
@@ -346,15 +516,44 @@ def run_load_curve(
     demand_seed: int = 0,
     users_millions: float | None = None,
     transport: str = "udp",
+    workload: str = "object",
+    profile: bool = False,
 ) -> list[dict]:
     """The full Fig 5 load curve as tidy records (the netsim stage).
 
     One :func:`run_udp_experiment` per load fraction, flattened to
     plain-scalar rows so the orchestration layer can cache, merge, and
-    serialize them deterministically.
+    serialize them deterministically.  The load-invariant work — link
+    capacities, the routed path pool, the kept-flow filter — is hoisted
+    out of the loop and computed once for the whole curve.
+
+    ``profile=True`` adds the fluid engine's per-phase wall-clock
+    timings (``setup_s`` / ``fill_s`` / ``freeze_s``) to each row.
+    Off by default: timings are nondeterministic, and default records
+    must stay byte-identical across runs and processes.
     """
     rows: list[dict] = []
+    setup: _ExperimentSetup | None = None
     for load in loads:
+        if setup is None:
+            # Validate with the first load point (preserving the
+            # historical error order), then hoist the invariants.
+            _validate_experiment_params(
+                float(load), engine, demand_model, transport, workload
+            )
+            setup = _prepare_experiment(
+                topology,
+                design_aggregate_gbps,
+                offered_traffic,
+                1e-4,
+                2e-4,
+                capacity_mode,
+                demand_model,
+                demand_hour_utc,
+                demand_seed,
+                users_millions,
+                workload,
+            )
         res = run_udp_experiment(
             topology,
             design_aggregate_gbps,
@@ -369,19 +568,24 @@ def run_load_curve(
             demand_seed=demand_seed,
             users_millions=users_millions,
             transport=transport,
+            workload=workload,
+            _setup=setup,
         )
-        rows.append(
-            {
-                "stage": "netsim",
-                "engine": engine,
-                "transport": transport,
-                "demand_model": demand_model,
-                "load": float(load),
-                "mean_delay_ms": float(res.mean_delay_ms),
-                "loss_rate": float(res.loss_rate),
-                "max_link_utilization": float(res.max_link_utilization),
-            }
-        )
+        row = {
+            "stage": "netsim",
+            "engine": engine,
+            "transport": transport,
+            "demand_model": demand_model,
+            "load": float(load),
+            "mean_delay_ms": float(res.mean_delay_ms),
+            "loss_rate": float(res.loss_rate),
+            "max_link_utilization": float(res.max_link_utilization),
+        }
+        if profile and res.timings_s is not None:
+            row.update(
+                {key: float(value) for key, value in res.timings_s.items()}
+            )
+        rows.append(row)
     return rows
 
 

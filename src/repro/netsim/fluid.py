@@ -34,11 +34,14 @@ API (see :func:`repro.netsim.experiments.run_udp_experiment`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
+from time import perf_counter
 
 import numpy as np
 from scipy import sparse
 
+from .flowtable import CommodityTable, FlowTable
 from .network import EdgeSpec
 
 #: Rate slack treated as saturation (absolute, bits/second).
@@ -76,12 +79,23 @@ class FluidFlow:
             raise ValueError("offered rate must be positive")
         if len(self.path) < 2:
             raise ValueError("path needs at least two nodes")
-        edges = list(zip(self.path[:-1], self.path[1:]))
-        if len(set(edges)) != len(edges):
+        if not _path_is_edge_simple(self.path):
             raise ValueError(
                 f"flow {self.flow_id} path repeats a directed link; "
                 "fluid paths must be edge-simple"
             )
+
+
+@lru_cache(maxsize=65536)
+def _path_is_edge_simple(path: tuple[str, ...]) -> bool:
+    """Whether a path repeats no directed link (cached by path value).
+
+    Workloads routinely hand the same path tuple to thousands of flows;
+    caching by value means the O(len) set-build runs once per distinct
+    path instead of once per flow.
+    """
+    edges = list(zip(path[:-1], path[1:]))
+    return len(set(edges)) == len(edges)
 
 
 @dataclass(frozen=True)
@@ -97,12 +111,19 @@ class FluidResult:
             the *true* ratio.  The solver guarantees it never exceeds
             ``1 + CAPACITY_SLACK_REL``; an over-allocation is a bug and
             raises rather than being clamped out of sight.
+        timings_s: wall-clock seconds per solve phase (``setup_s`` —
+            problem construction, ``fill_s`` — progressive filling,
+            ``freeze_s`` — result accounting), or None when the result
+            was assembled outside :func:`solve_fluid`.  Excluded from
+            equality: two solves of the same workload are the same
+            result however long they took.
     """
 
     rates_bps: dict[int, float]
     offered_bps: dict[int, float]
     latencies_s: dict[int, float]
     link_utilization: dict[tuple[str, str], float]
+    timings_s: dict[str, float] | None = field(default=None, compare=False)
 
     @property
     def total_offered_bps(self) -> float:
@@ -144,12 +165,110 @@ class FluidResult:
         )
 
 
+@dataclass(frozen=True)
+class FluidTableResult:
+    """Array-native max-min allocation result (the table fast path).
+
+    The same accounting as :class:`FluidResult` with aligned arrays in
+    place of per-flow dicts: entry ``i`` of ``rates_bps`` /
+    ``offered_bps`` / ``latencies_s`` belongs to ``flow_ids[i]``.
+    Aggregate properties (``loss_rate``, ``mean_latency_s`` ...) are
+    computed with the same sequential summation order as the dict
+    result, so an experiment row built from either form is bit-identical.
+
+    Attributes:
+        flow_ids: caller-visible flow ids.
+        rates_bps: allocated rate per flow.
+        offered_bps: offered rate per flow.
+        latencies_s: static path latency per flow.
+        link_utilization: per directed link, allocated load / capacity.
+        timings_s: wall-clock seconds per phase (``setup_s`` /
+            ``fill_s`` / ``freeze_s``); excluded from equality.
+    """
+
+    flow_ids: np.ndarray
+    rates_bps: np.ndarray
+    offered_bps: np.ndarray
+    latencies_s: np.ndarray
+    link_utilization: dict[tuple[str, str], float]
+    timings_s: dict[str, float] | None = field(default=None, compare=False)
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flow_ids)
+
+    @property
+    def total_offered_bps(self) -> float:
+        return float(sum(self.offered_bps.tolist()))
+
+    @property
+    def total_rate_bps(self) -> float:
+        return float(sum(self.rates_bps.tolist()))
+
+    @property
+    def loss_rate(self) -> float:
+        """Offered load the allocation could not carry, as a fraction."""
+        offered = self.total_offered_bps
+        if offered <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.total_rate_bps / offered)
+
+    @property
+    def mean_rate_bps(self) -> float:
+        if self.n_flows == 0:
+            return 0.0
+        return self.total_rate_bps / self.n_flows
+
+    @property
+    def max_link_utilization(self) -> float:
+        return max(self.link_utilization.values(), default=0.0)
+
+    def mean_latency_s(self) -> float:
+        """Throughput-weighted mean path latency."""
+        total = self.total_rate_bps
+        if total <= 0:
+            return 0.0
+        return float(sum((self.latencies_s * self.rates_bps).tolist())) / total
+
+    def rates_by_flow(self) -> dict[int, float]:
+        """The dict form of the rates (parity checks, small workloads)."""
+        return dict(zip(self.flow_ids.tolist(), self.rates_bps.tolist()))
+
+
+def flows_from_table(
+    table: FlowTable | CommodityTable,
+) -> list[FluidFlow]:
+    """Expand a table workload into the reference ``FluidFlow`` list.
+
+    The bridge from the array-native front-end to the scalar reference
+    solver (and to parity tests): flows come out in table order with
+    their table flow ids and one shared path tuple per commodity.
+    """
+    if isinstance(table, FlowTable):
+        table = table.to_commodities()
+    paths = [table.pool.path_names(int(p)) for p in table.commodity_path]
+    return [
+        FluidFlow(flow_id=int(fid), path=paths[int(c)], offered_bps=float(d))
+        for fid, c, d in zip(
+            table.flow_ids, table.flow_commodity, table.demand_bps
+        )
+    ]
+
+
 def _check_flows(
     capacities_bps: dict[tuple[str, str], float],
     flows: list[FluidFlow],
 ) -> None:
+    # Flows sharing a path object share its validity; checking each
+    # distinct path once (by identity) keeps shared-path workloads from
+    # re-walking the same links per flow.
+    seen: set[int] = set()
     for flow in flows:
-        for u, v in zip(flow.path[:-1], flow.path[1:]):
+        path = flow.path
+        if id(path) in seen:
+            continue
+        seen.add(id(path))
+        for u, v in zip(path[:-1], path[1:]):
             if (u, v) not in capacities_bps:
                 raise KeyError(f"flow {flow.flow_id} uses unknown link {u}->{v}")
 
@@ -287,10 +406,76 @@ class _CommodityProblem:
             ),
             shape=(len(self.paths), len(self.link_keys)),
         )
+        self.n_commodities = len(self.paths)
 
-    @property
-    def n_commodities(self) -> int:
-        return len(self.paths)
+    @classmethod
+    def from_table(
+        cls,
+        capacities_bps: dict[tuple[str, str], float],
+        table: CommodityTable,
+    ) -> "_CommodityProblem":
+        """The same problem, built from a :class:`CommodityTable`.
+
+        All-array construction: path edges come from the pool in one
+        gather, the link lookup is a searchsorted over integer edge
+        codes, and the CSR incidence lands with columns in traversal
+        order and rows in first-seen commodity order — byte-identical
+        to what ``__init__`` builds from the equivalent ``FluidFlow``
+        list, just without the million-object detour.
+        """
+        self = cls.__new__(cls)
+        self.link_keys = list(capacities_bps)
+        self.capacities = np.array(
+            [capacities_bps[key] for key in self.link_keys], dtype=float
+        )
+        pool = table.pool
+        n_names = len(pool.node_names)
+        name_id = {name: i for i, name in enumerate(pool.node_names)}
+        # Integer code u_id * n + v_id per capacity link; links naming
+        # nodes outside the pool get unique negative codes (no pool
+        # path can ever reference them, they just keep the table total).
+        link_codes = np.empty(len(self.link_keys), dtype=np.int64)
+        for i, (u, v) in enumerate(self.link_keys):
+            ui = name_id.get(u)
+            vi = name_id.get(v)
+            link_codes[i] = (
+                ui * n_names + vi if ui is not None and vi is not None else -(i + 1)
+            )
+        code_order = np.argsort(link_codes, kind="stable")
+        sorted_codes = link_codes[code_order]
+
+        edge_u, edge_v, edge_indptr = pool.gather_edges(table.commodity_path)
+        codes = edge_u * n_names + edge_v
+        pos = np.searchsorted(sorted_codes, codes)
+        pos = np.minimum(pos, max(len(sorted_codes) - 1, 0))
+        if len(sorted_codes):
+            bad = sorted_codes[pos] != codes
+        else:
+            bad = np.ones(len(codes), dtype=bool)
+        if bad.any():
+            # First offense in (commodity, traversal) order — the same
+            # edge the object path trips over first.
+            first = int(np.argmax(bad))
+            commodity = int(np.searchsorted(edge_indptr, first, side="right")) - 1
+            fid = int(table.first_flow_ids()[commodity])
+            u = pool.node_names[int(edge_u[first])]
+            v = pool.node_names[int(edge_v[first])]
+            raise KeyError(f"flow {fid} uses unknown link {u}->{v}")
+        indices = code_order[pos].astype(np.int64)
+        self.paths = None  # table-built problems carry no name tuples
+        self.flow_ids = table.flow_ids
+        self.demands = table.demand_bps
+        self.flow_commodity = table.flow_commodity
+        self.incidence = sparse.csr_matrix(
+            (
+                np.ones(len(indices), dtype=float),
+                indices,
+                edge_indptr.astype(np.int64),
+            ),
+            shape=(len(table.commodity_path), len(self.link_keys)),
+        )
+        self.n_commodities = len(table.commodity_path)
+        return self
 
     def commodity_flow_counts(self) -> np.ndarray:
         counts = np.zeros(self.n_commodities, dtype=np.int64)
@@ -475,33 +660,31 @@ def _assert_capacity_invariant(
         )
 
 
-def solve_fluid(
-    specs: list[EdgeSpec],
-    flows: list[FluidFlow],
-    packet_bytes: int = 500,
-    solver: str = "vectorized",
-) -> FluidResult:
-    """Allocate max-min rates over a network built from edge specs.
+def max_min_rates_table(
+    capacities_bps: dict[tuple[str, str], float],
+    table: FlowTable | CommodityTable,
+) -> np.ndarray:
+    """Max-min fair rates for a table workload, as a per-flow array.
 
-    ``packet_bytes`` only affects the static latency estimate (one
-    serialization per hop), mirroring the packet engine's uniform UDP
-    size.  ``solver`` selects the vectorized commodity-aggregate engine
-    (default) or the scalar reference implementation.
+    The array-native counterpart of :func:`max_min_rates_vectorized`:
+    same solver, same allocation, but the workload never leaves numpy.
+    Entry ``i`` of the result belongs to ``table.flow_ids[i]``.
     """
-    if solver not in SOLVERS:
-        raise ValueError(f"unknown solver {solver!r} (choose from {SOLVERS})")
-    capacities, delays = aggregate_capacities(specs)
-    problem = _CommodityProblem(capacities, flows)
-    if solver == "vectorized":
-        rates = _progressive_fill(problem)
-    else:
-        rate_map = max_min_rates(capacities, flows)
-        rates = np.array(
-            [rate_map[int(fid)] for fid in problem.flow_ids], dtype=float
-        )
+    if isinstance(table, FlowTable):
+        table = table.to_commodities()
+    if table.n_flows == 0:
+        return np.empty(0, dtype=float)
+    problem = _CommodityProblem.from_table(capacities_bps, table)
+    return _progressive_fill(problem)
 
-    # Vectorized accounting: per-commodity latency and per-link load via
-    # the same incidence matrix the solver filled over.
+
+def _assemble_accounting(
+    problem: _CommodityProblem,
+    delays: dict[tuple[str, str], float],
+    rates: np.ndarray,
+    packet_bytes: int,
+) -> tuple[np.ndarray, dict[tuple[str, str], float]]:
+    """Per-flow latencies and the link-utilization dict for a solve."""
     packet_bits = packet_bytes * 8
     delay_arr = np.array([delays[key] for key in problem.link_keys])
     per_link_latency = delay_arr + packet_bits / problem.capacities
@@ -515,10 +698,101 @@ def solve_fluid(
         problem.link_keys[i]: float(loads[i] / problem.capacities[i])
         for i in np.flatnonzero(used)
     }
+    return latencies, utilization
+
+
+def _solve_fluid_table(
+    specs: list[EdgeSpec],
+    table: FlowTable | CommodityTable,
+    packet_bytes: int,
+    solver: str,
+) -> FluidTableResult:
+    """The array-native solve: table in, aligned result arrays out."""
+    t0 = perf_counter()
+    if isinstance(table, FlowTable):
+        table = table.to_commodities()
+    capacities, delays = aggregate_capacities(specs)
+    problem = _CommodityProblem.from_table(capacities, table)
+    t1 = perf_counter()
+    if solver == "vectorized":
+        rates = _progressive_fill(problem)
+    else:
+        # The scalar reference needs per-flow objects; expanding here
+        # keeps solver="scalar" meaning "the reference allocation" for
+        # tables too (at the reference's object cost).
+        rate_map = max_min_rates(capacities, flows_from_table(table))
+        rates = np.array(
+            [rate_map[int(fid)] for fid in problem.flow_ids], dtype=float
+        )
+    t2 = perf_counter()
+    latencies, utilization = _assemble_accounting(
+        problem, delays, rates, packet_bytes
+    )
+    t3 = perf_counter()
+    return FluidTableResult(
+        flow_ids=problem.flow_ids,
+        rates_bps=rates,
+        offered_bps=problem.demands,
+        latencies_s=latencies,
+        link_utilization=utilization,
+        timings_s={
+            "setup_s": t1 - t0,
+            "fill_s": t2 - t1,
+            "freeze_s": t3 - t2,
+        },
+    )
+
+
+def solve_fluid(
+    specs: list[EdgeSpec],
+    flows: list[FluidFlow] | FlowTable | CommodityTable,
+    packet_bytes: int = 500,
+    solver: str = "vectorized",
+) -> FluidResult | FluidTableResult:
+    """Allocate max-min rates over a network built from edge specs.
+
+    ``packet_bytes`` only affects the static latency estimate (one
+    serialization per hop), mirroring the packet engine's uniform UDP
+    size.  ``solver`` selects the vectorized commodity-aggregate engine
+    (default) or the scalar reference implementation.
+
+    ``flows`` is either the reference ``FluidFlow`` list (returns a
+    :class:`FluidResult`) or an array-native :class:`FlowTable` /
+    :class:`CommodityTable` (returns a :class:`FluidTableResult` and
+    never materializes per-flow objects).  Both forms produce
+    bit-identical rates, latencies, and utilizations.
+    """
+    if solver not in SOLVERS:
+        raise ValueError(f"unknown solver {solver!r} (choose from {SOLVERS})")
+    if isinstance(flows, (FlowTable, CommodityTable)):
+        return _solve_fluid_table(specs, flows, packet_bytes, solver)
+    t0 = perf_counter()
+    capacities, delays = aggregate_capacities(specs)
+    problem = _CommodityProblem(capacities, flows)
+    t1 = perf_counter()
+    if solver == "vectorized":
+        rates = _progressive_fill(problem)
+    else:
+        rate_map = max_min_rates(capacities, flows)
+        rates = np.array(
+            [rate_map[int(fid)] for fid in problem.flow_ids], dtype=float
+        )
+    t2 = perf_counter()
+    # Vectorized accounting: per-commodity latency and per-link load via
+    # the same incidence matrix the solver filled over.
+    latencies, utilization = _assemble_accounting(
+        problem, delays, rates, packet_bytes
+    )
     flow_ids = problem.flow_ids.tolist()
+    t3 = perf_counter()
     return FluidResult(
         rates_bps=dict(zip(flow_ids, rates.tolist())),
         offered_bps=dict(zip(flow_ids, problem.demands.tolist())),
         latencies_s=dict(zip(flow_ids, latencies.tolist())),
         link_utilization=utilization,
+        timings_s={
+            "setup_s": t1 - t0,
+            "fill_s": t2 - t1,
+            "freeze_s": t3 - t2,
+        },
     )

@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import math
 
-from .fluid import FluidFlow, FluidResult, solve_fluid
+import numpy as np
+
+from .fluid import FluidFlow, FluidResult, FluidTableResult, solve_fluid
+from .flowtable import CommodityTable, FlowTable
 from .network import EdgeSpec
 from .tcp import DEFAULT_MSS_BYTES
 
@@ -58,9 +61,58 @@ def mathis_rate_bps(
     return MATHIS_C * mss_bytes * 8 / (rtt_s * math.sqrt(loss_rate))
 
 
+def _solve_fluid_tcp_table(
+    specs: list[EdgeSpec],
+    table: CommodityTable,
+    loss_floor: float,
+    iterations: int,
+    damping: float,
+    tolerance: float,
+    mss_bytes: int,
+    packet_bytes: int,
+    solver: str,
+) -> FluidTableResult:
+    """The Mathis fixed point over an array-native workload.
+
+    Elementwise-identical to the ``FluidFlow``-list loop — same offer
+    cap, same damped loss update, same convergence test — but each
+    iterate re-demands the fixed :class:`CommodityTable` instead of
+    materializing a fresh million-object flow list.
+    """
+    # One solve at the application demands fixes the (static) RTTs.
+    base = solve_fluid(specs, table, packet_bytes=packet_bytes, solver=solver)
+    rtt = 2.0 * base.latencies_s
+    if np.any(rtt <= 0):
+        raise ValueError("RTT must be positive")
+
+    demand = table.demand_bps
+    p = np.full(len(demand), loss_floor, dtype=float)
+    mathis_num = MATHIS_C * mss_bytes * 8
+    result = base
+    for _ in range(iterations):
+        offers = np.minimum(demand, mathis_num / (rtt * np.sqrt(p)))
+        result = solve_fluid(
+            specs,
+            table.with_demands(offers),
+            packet_bytes=packet_bytes,
+            solver=solver,
+        )
+        offered = result.offered_bps
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dropped = np.where(
+                offered > 0, 1.0 - result.rates_bps / offered, 0.0
+            )
+        target = np.maximum(loss_floor, dropped)
+        move = damping * (target - p)
+        p += move
+        if float(np.abs(move).max(initial=0.0)) < tolerance:
+            break
+    return result
+
+
 def solve_fluid_tcp(
     specs: list[EdgeSpec],
-    flows: list[FluidFlow],
+    flows: list[FluidFlow] | FlowTable | CommodityTable,
     loss_floor: float = DEFAULT_LOSS_FLOOR,
     iterations: int = 25,
     damping: float = 0.5,
@@ -68,7 +120,7 @@ def solve_fluid_tcp(
     mss_bytes: int = DEFAULT_MSS_BYTES,
     packet_bytes: int = 500,
     solver: str = "vectorized",
-) -> FluidResult:
+) -> FluidResult | FluidTableResult:
     """Fluid allocation under the Mathis TCP macro-model.
 
     ``flows`` carry the *application* demand (an upper bound on what
@@ -77,10 +129,37 @@ def solve_fluid_tcp(
     relaxes toward the unserved fraction of the offer under ``damping``
     until it moves less than ``tolerance`` (or ``iterations`` runs out).
 
-    Returns the final :class:`FluidResult`; its ``offered_bps`` are the
-    converged TCP offers, so ``loss_rate`` reports the unserved share
-    of what TCP actually attempted, not of the application demand.
+    ``flows`` may also be an array-native :class:`FlowTable` /
+    :class:`CommodityTable` (returns a :class:`FluidTableResult`); the
+    fixed point then iterates entirely in arrays and produces
+    bit-identical rates to the object path.
+
+    Returns the final result; its ``offered_bps`` are the converged TCP
+    offers, so ``loss_rate`` reports the unserved share of what TCP
+    actually attempted, not of the application demand.
     """
+    if isinstance(flows, (FlowTable, CommodityTable)):
+        if isinstance(flows, FlowTable):
+            flows = flows.to_commodities()
+        if flows.n_flows == 0:
+            return solve_fluid(
+                specs, flows, packet_bytes=packet_bytes, solver=solver
+            )
+        if not 0 < loss_floor < 1:
+            raise ValueError("loss floor must be in (0, 1)")
+        if not 0 < damping <= 1:
+            raise ValueError("damping must be in (0, 1]")
+        return _solve_fluid_tcp_table(
+            specs,
+            flows,
+            loss_floor,
+            iterations,
+            damping,
+            tolerance,
+            mss_bytes,
+            packet_bytes,
+            solver,
+        )
     if not flows:
         return solve_fluid(specs, flows, packet_bytes=packet_bytes, solver=solver)
     if not 0 < loss_floor < 1:

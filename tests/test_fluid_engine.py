@@ -355,5 +355,7 @@ class TestSpecAndStage:
         assert payload["users_millions"] == 2.0
         assert payload["demand_hour_utc"] == 20.0
         assert payload["demand_seed"] == 0
+        assert payload["workload"] == "object"
+        assert payload["profile"] is False
         # Cache keys must move with the new payload fields.
-        assert STAGES["netsim"].version == "2"
+        assert STAGES["netsim"].version == "3"
