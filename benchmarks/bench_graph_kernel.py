@@ -62,6 +62,7 @@ def _seed_hybrid_weights(design, links):
 
 
 def _seed_routed_paths(design, links):
+    # repro: allow[dense-fw-ban] -- embedded pre-kernel baseline the gate measures against
     _, predecessors = shortest_path(
         _seed_hybrid_weights(design, links),
         method="FW",
@@ -124,6 +125,7 @@ def seed_budget_evolution(design, steps, budgets):
             if step.cumulative_cost <= budget:
                 links.append(step.link)
                 spent = step.cumulative_cost
+        # repro: allow[dense-fw-ban] -- embedded pre-kernel baseline the gate measures against
         dist = shortest_path(
             _seed_hybrid_weights(design, links), method="FW", directed=False
         )

@@ -1,0 +1,89 @@
+"""Static contract checks for the reproduction's invariants.
+
+Nine PRs of infrastructure rest on contracts that are prose in
+ROADMAP.md: every experiment is seed-pinned, cached stages carry
+hand-bumped version tags, and dense Floyd-Warshall belongs to the
+graph kernel alone.  This package turns them into an enforced lint
+layer (CLI: ``repro lint``):
+
+* a plugin rule registry (:func:`register_rule`, mirroring the solver
+  registry in :mod:`repro.core.design`) over a single-walk AST engine
+  (:func:`run_lint`) with per-path scopes and inline
+  ``# repro: allow[rule-id] -- reason`` suppressions;
+* determinism rules — ``unseeded-rng``, ``wall-clock-in-cached-code``,
+  ``nondeterministic-iteration`` (:mod:`repro.analysis.determinism`);
+* the kernel ban — ``dense-fw-ban``
+  (:mod:`repro.analysis.kernel_bans`);
+* cache-version drift — ``stage-version-drift`` against the committed
+  ``stage_versions.lock`` (:mod:`repro.analysis.versions`, hashing via
+  :mod:`repro.analysis.callgraph`).
+"""
+
+from .callgraph import ProjectIndex, normalized_dump
+from .engine import (
+    LintConfig,
+    LintResult,
+    lint_source,
+    parse_suppressions,
+    run_lint,
+)
+from .report import render_json, render_text
+from .rules import (
+    FileContext,
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    RuleScope,
+    all_rules,
+    get_rule,
+    register_rule,
+    rule_names,
+)
+
+# Importing the rule modules populates the registry.
+from . import determinism  # noqa: F401  (registers rules)
+from . import kernel_bans  # noqa: F401  (registers rules)
+from . import versions  # noqa: F401  (registers rules)
+from .versions import (
+    LOCK_NAME,
+    UPDATE_COMMAND,
+    LockEntry,
+    compare_lock,
+    compute_entries,
+    default_lock_path,
+    read_lock,
+    update_lock,
+    write_lock,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "LOCK_NAME",
+    "LockEntry",
+    "ProjectContext",
+    "ProjectIndex",
+    "ProjectRule",
+    "Rule",
+    "RuleScope",
+    "UPDATE_COMMAND",
+    "all_rules",
+    "compare_lock",
+    "compute_entries",
+    "default_lock_path",
+    "get_rule",
+    "lint_source",
+    "normalized_dump",
+    "parse_suppressions",
+    "read_lock",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_names",
+    "run_lint",
+    "update_lock",
+    "write_lock",
+]

@@ -1,0 +1,384 @@
+"""Static project index: repo-local name resolution and AST hashing.
+
+The stage-version-drift rule needs a *stable fingerprint* of the code
+that produces each cached artifact: the stage's payload/run functions
+plus every repo-local function or class they can reach.  This module
+provides that machinery:
+
+* :class:`ProjectIndex` parses every module of the package once and
+  resolves names — through ``import``/``from ... import`` chains,
+  including relative imports and function-local lazy imports — to the
+  ``def``/``class`` statements they denote.
+* :meth:`ProjectIndex.closure` walks a root set of definitions to the
+  transitive repo-local dependencies.  Resolution is deliberately an
+  *over*-approximation (a local variable shadowing a module-level name
+  still counts as a dependency): a spurious dependency can only make
+  the fingerprint more sensitive, which errs on the side of retiring
+  cached artifacts — never serving stale ones.
+* :meth:`ProjectIndex.fingerprint` hashes the closure's *normalized*
+  ASTs (docstrings stripped; comments and formatting never reach the
+  AST), so renaming a file, editing a comment, or rewrapping a line
+  does not move the hash — changing executable structure does.
+
+Versioned components cut the walk: a dependency that resolves into
+another lock entry's package (e.g. ``repro.graph`` for the
+``graph:kernel`` entry) contributes an opaque ``@entry`` marker
+instead of its code, so a kernel change moves only the kernel's hash
+and demands only a ``KERNEL_VERSION`` bump — not a version bump of
+every consumer (their cache keys already embed the kernel version).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: A resolved repo-local definition: (module name, qualified name).
+DefRef = tuple[str, str]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the package.
+
+    Attributes:
+        name: dotted module name (``repro.exp.stages``).
+        path: source file.
+        is_package: whether this is an ``__init__.py``.
+        tree: the parsed AST.
+        defs: top-level function/class name -> its def node.
+        bindings: imported name -> binding target (see ``_bind``).
+    """
+
+    name: str
+    path: Path
+    is_package: bool
+    tree: ast.Module
+    defs: dict[str, ast.AST] = field(default_factory=dict)
+    bindings: dict[str, tuple] = field(default_factory=dict)
+
+
+class ProjectIndex:
+    """Name resolution + normalized-AST hashing over one package tree.
+
+    Args:
+        package_root: directory of the package (``.../src/repro``).
+        package: the package's import name.
+    """
+
+    def __init__(self, package_root: Path, package: str = "repro") -> None:
+        self.package = package
+        self.package_root = Path(package_root)
+        self.modules: dict[str, ModuleInfo] = {}
+        for py in sorted(self.package_root.rglob("*.py")):
+            rel = py.relative_to(self.package_root)
+            parts = rel.with_suffix("").parts
+            is_package = rel.name == "__init__.py"
+            if is_package:
+                parts = parts[:-1]
+            name = ".".join((package,) + parts)
+            tree = ast.parse(py.read_text(), filename=str(py))
+            self.modules[name] = ModuleInfo(name, py, is_package, tree)
+        for info in self.modules.values():
+            self._index_module(info)
+
+    # -- module indexing ---------------------------------------------------
+
+    def _index_module(self, info: ModuleInfo) -> None:
+        for node in info.tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                info.defs[node.name] = node
+        # Imports anywhere in the file (the codebase lazy-imports inside
+        # functions heavily) become module-wide bindings.  First binding
+        # wins, deterministically: ast.walk order is the parse order.
+        for node in ast.walk(info.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._bind(info, node)
+
+    def _bind(self, info: ModuleInfo, node: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                if self._is_local_module(target):
+                    info.bindings.setdefault(local, ("mod", target))
+                else:
+                    info.bindings.setdefault(local, ("ext",))
+            return
+        mod = self._absolute_module(info, node.level, node.module)
+        if mod is None or not self._is_local_prefix(mod):
+            for alias in node.names:
+                if alias.name != "*":
+                    info.bindings.setdefault(alias.asname or alias.name, ("ext",))
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            sub = f"{mod}.{alias.name}"
+            if sub in self.modules:
+                info.bindings.setdefault(local, ("mod", sub))
+            else:
+                info.bindings.setdefault(local, ("obj", mod, alias.name))
+
+    def _absolute_module(
+        self, info: ModuleInfo, level: int, module: str | None
+    ) -> str | None:
+        """The absolute module named by an import (None when external)."""
+        if level == 0:
+            return module
+        parts = info.name.split(".")
+        if not info.is_package:
+            parts = parts[:-1]
+        if level > 1:
+            if level - 1 >= len(parts):
+                return None
+            parts = parts[: len(parts) - (level - 1)]
+        base = ".".join(parts)
+        return f"{base}.{module}" if module else base
+
+    def _is_local_prefix(self, mod: str) -> bool:
+        return mod == self.package or mod.startswith(self.package + ".")
+
+    def _is_local_module(self, mod: str) -> bool:
+        return mod in self.modules
+
+    # -- name resolution ---------------------------------------------------
+
+    def resolve_name(
+        self, info: ModuleInfo, name: str, _seen: frozenset = frozenset()
+    ) -> DefRef | None:
+        """Resolve a bare name in a module to a repo-local definition."""
+        if name in info.defs:
+            return (info.name, name)
+        binding = info.bindings.get(name)
+        if binding is None:
+            return None
+        return self._resolve_binding(binding, _seen)
+
+    def _resolve_binding(
+        self, binding: tuple, _seen: frozenset
+    ) -> DefRef | None:
+        if binding[0] != "obj" or binding in _seen:
+            return None
+        _, modname, attr = binding
+        target = self.modules.get(modname)
+        if target is None:
+            return None
+        return self.resolve_name(target, attr, _seen | {binding})
+
+    def resolve_dotted(self, info: ModuleInfo, chain: list[str]) -> DefRef | None:
+        """Resolve an attribute chain (``pkg.mod.name`` style) to a def.
+
+        The chain's head is a local name; module bindings are descended
+        while the remaining attributes keep naming submodules, then the
+        next attribute resolves as a definition in the final module.
+        """
+        binding = info.bindings.get(chain[0])
+        if binding is None or binding[0] != "mod":
+            return None
+        modname = binding[1]
+        i = 1
+        while i < len(chain) and f"{modname}.{chain[i]}" in self.modules:
+            modname = f"{modname}.{chain[i]}"
+            i += 1
+        if i >= len(chain):
+            return None
+        target = self.modules.get(modname)
+        if target is None:
+            return None
+        return self.resolve_name(target, chain[i])
+
+    # -- dependency extraction ---------------------------------------------
+
+    def dependencies(self, info: ModuleInfo, node: ast.AST) -> set[DefRef]:
+        """Repo-local definitions a def/class node refers to."""
+        deps: set[DefRef] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                ref = self.resolve_name(info, sub.id)
+                if ref is not None:
+                    deps.add(ref)
+            elif isinstance(sub, ast.Attribute) and isinstance(
+                sub.ctx, ast.Load
+            ):
+                chain = _attribute_chain(sub)
+                if chain is not None:
+                    ref = self.resolve_dotted(info, chain)
+                    if ref is not None:
+                        deps.add(ref)
+        return deps
+
+    def find_def(self, modname: str, qualname: str) -> ast.AST | None:
+        """The def node for a (possibly dotted) qualified name."""
+        info = self.modules.get(modname)
+        if info is None:
+            return None
+        parts = qualname.split(".")
+        node: ast.AST | None = info.defs.get(parts[0])
+        for part in parts[1:]:
+            if node is None:
+                return None
+            node = next(
+                (
+                    child
+                    for child in ast.iter_child_nodes(node)
+                    if isinstance(
+                        child,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    )
+                    and child.name == part
+                ),
+                None,
+            )
+        return node
+
+    def package_defs(self, prefix: str) -> list[DefRef]:
+        """Every top-level definition in every module under a prefix."""
+        refs: list[DefRef] = []
+        for modname in sorted(self.modules):
+            if modname == prefix or modname.startswith(prefix + "."):
+                info = self.modules[modname]
+                refs.extend((modname, name) for name in sorted(info.defs))
+        return refs
+
+    # -- transitive closure + fingerprint ----------------------------------
+
+    def closure(
+        self,
+        roots: list[DefRef],
+        boundaries: dict[str, str] | None = None,
+    ) -> tuple[dict[DefRef, ast.AST], set[str]]:
+        """Transitive repo-local dependency closure of a root set.
+
+        Args:
+            roots: the definitions to start from.
+            boundaries: module prefix -> lock-entry name; a dependency
+                resolving under a prefix is recorded as that entry's
+                opaque marker instead of being walked (roots are never
+                cut, so an entry can hash its own package).
+
+        Returns:
+            ``(defs, markers)``: the resolved definitions and the
+            boundary-entry markers encountered.
+        """
+        boundaries = boundaries or {}
+        root_set = set(roots)
+        defs: dict[DefRef, ast.AST] = {}
+        markers: set[str] = set()
+        todo = sorted(root_set)
+        seen: set[DefRef] = set(todo)
+        while todo:
+            ref = todo.pop()
+            modname, qualname = ref
+            if ref not in root_set:
+                entry = self._boundary_entry(modname, boundaries)
+                if entry is not None:
+                    markers.add(entry)
+                    continue
+            node = self.find_def(modname, qualname)
+            if node is None:
+                continue
+            defs[ref] = node
+            info = self.modules[modname]
+            for dep in sorted(self.dependencies(info, node)):
+                if dep not in seen:
+                    seen.add(dep)
+                    todo.append(dep)
+        return defs, markers
+
+    @staticmethod
+    def _boundary_entry(
+        modname: str, boundaries: dict[str, str]
+    ) -> str | None:
+        for prefix in sorted(boundaries):
+            if modname == prefix or modname.startswith(prefix + "."):
+                return boundaries[prefix]
+        return None
+
+    def fingerprint(
+        self,
+        roots: list[DefRef],
+        boundaries: dict[str, str] | None = None,
+    ) -> str:
+        """Stable hash of the closure's normalized ASTs."""
+        defs, markers = self.closure(roots, boundaries)
+        digest = hashlib.sha256()
+        for modname, qualname in sorted(defs):
+            digest.update(f"{modname}:{qualname}\n".encode())
+            digest.update(
+                normalized_dump(defs[(modname, qualname)]).encode()
+            )
+            digest.update(b"\0")
+        for marker in sorted(markers):
+            digest.update(f"@{marker}\0".encode())
+        return "sha256:" + digest.hexdigest()
+
+
+def _attribute_chain(node: ast.Attribute) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None when the base is not a Name."""
+    parts: list[str] = []
+    current: ast.AST = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+def normalized_dump(node: ast.AST) -> str:
+    """A stable AST dump: no docstrings, positions, or empty fields.
+
+    Comments never reach the AST, positions are attributes (never
+    emitted), and docstrings are stripped first — so the dump is
+    invariant under reformatting, commenting, and docstring edits; it
+    moves only when the executable structure of the code does.
+
+    Unlike ``ast.dump``, fields that are ``None`` or empty lists are
+    omitted: newer interpreters grow nodes by adding optional fields
+    (``type_params`` in 3.12, ``type_comment`` before that), and the
+    committed lockfile must hash identically across the CI version
+    matrix.
+    """
+    return _dump(_strip_docstrings(copy.deepcopy(node)))
+
+
+def _dump(value) -> str:
+    if isinstance(value, ast.AST):
+        parts = []
+        for name, field_value in ast.iter_fields(value):
+            if field_value is None:
+                continue
+            if isinstance(field_value, list) and not field_value:
+                continue
+            parts.append(f"{name}={_dump(field_value)}")
+        return f"{type(value).__name__}({', '.join(parts)})"
+    if isinstance(value, list):
+        return "[" + ", ".join(_dump(item) for item in value) + "]"
+    return repr(value)
+
+
+def _strip_docstrings(node: ast.AST) -> ast.AST:
+    for sub in ast.walk(node):
+        if isinstance(
+            sub, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            body = sub.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                del body[0]
+                if not body:
+                    body.append(ast.Pass())
+    return node

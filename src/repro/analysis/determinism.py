@@ -1,0 +1,370 @@
+"""Determinism rules: seed-pinning, wall clocks, and iteration order.
+
+Everything under ``src/repro/`` feeds seed-pinned experiments whose
+artifacts are content-addressed and whose sweeps must resume
+byte-identically (ROADMAP PRs 3/7).  These rules flag the three ways
+that contract silently breaks:
+
+* ``unseeded-rng`` — an RNG constructed without an explicit seed, or a
+  draw from process-global RNG state.
+* ``wall-clock-in-cached-code`` — ``time.time()`` / ``datetime.now()``
+  reads outside the supervisor/journal allowlist (those timestamps are
+  operational metadata; anything feeding stage payloads or records
+  must not read the clock).
+* ``nondeterministic-iteration`` — iterating a ``set``/``frozenset``
+  or an unsorted directory listing while accumulating ordered output
+  (records, cache keys, artifacts): set order is hash-randomized
+  across processes, so the output bytes change run to run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .rules import FileContext, Finding, Rule, RuleScope, register_rule
+
+#: numpy.random attributes that are seedable constructors/types, not
+#: draws from the module-global RandomState.
+_NP_RANDOM_SAFE = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "RandomState",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: Seedable RNG constructors: fine with a seed argument, flagged bare.
+_SEEDABLE = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "random.Random",
+    }
+)
+
+#: Module-level stdlib ``random`` functions (all draw from or mutate
+#: the hidden global instance).
+_PY_RANDOM_GLOBALS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+def _is_unseeded_call(node: ast.Call) -> bool:
+    """No positional seed, no seed= keyword (or an explicit None)."""
+    if any(isinstance(a, ast.Starred) for a in node.args):
+        return False  # can't tell statically; give it the benefit
+    if node.args:
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for kw in node.keywords:
+        if kw.arg is None:  # **kwargs splat: can't tell
+            return False
+        if kw.arg == "seed":
+            value = kw.value
+            return isinstance(value, ast.Constant) and value.value is None
+    return True
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    name = "unseeded-rng"
+    description = (
+        "RNG constructed without an explicit seed, or a draw from "
+        "process-global RNG state"
+    )
+    scope = RuleScope(include=("src/repro/*",))
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        dotted = ctx.dotted(node.func)
+        if dotted is None:
+            return
+        if dotted in _SEEDABLE:
+            if _is_unseeded_call(node):
+                yield Finding(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{dotted}() without an explicit seed: entropy-"
+                        "seeded RNGs break byte-identical replay and "
+                        "resume; thread a pinned seed through the spec"
+                    ),
+                )
+        elif dotted.startswith("numpy.random."):
+            attr = dotted.rsplit(".", 1)[1]
+            if attr not in _NP_RANDOM_SAFE:
+                yield Finding(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{dotted}() draws from numpy's module-global "
+                        "RNG state; use a seeded np.random.default_rng"
+                        "(seed) generator instead"
+                    ),
+                )
+        elif (
+            dotted.startswith("random.")
+            and dotted.rsplit(".", 1)[1] in _PY_RANDOM_GLOBALS
+        ):
+            yield Finding(
+                rule=self.name,
+                path=ctx.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{dotted}() uses the process-global random "
+                    "instance; use random.Random(seed) (or a seeded "
+                    "numpy generator) instead"
+                ),
+            )
+
+
+#: Banned wall-clock reads.  time.perf_counter/monotonic stay legal:
+#: they measure durations (runtime_s diagnostics), not timestamps, and
+#: never feed cache keys or record content.
+_WALL_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule
+class WallClockRule(Rule):
+    name = "wall-clock-in-cached-code"
+    description = (
+        "wall-clock read outside the supervisor/journal allowlist "
+        "(cached payloads and records must be time-independent)"
+    )
+    # The sweep supervisor and journal legitimately timestamp task
+    # transitions, heartbeats, and retry deadlines — operational
+    # metadata that never enters artifacts or record rows.
+    scope = RuleScope(
+        include=("src/repro/*",),
+        exclude=(
+            "src/repro/exp/queue.py",
+            "src/repro/exp/service.py",
+        ),
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        dotted = ctx.dotted(node.func)
+        if dotted in _WALL_CLOCKS:
+            yield Finding(
+                rule=self.name,
+                path=ctx.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{dotted}() in code reachable from cached stage "
+                    "payloads: wall clocks make reruns diverge; use "
+                    "time.perf_counter() for durations or keep "
+                    "timestamps in the supervisor/journal layer"
+                ),
+            )
+
+
+#: Wrappers that preserve (lack of) ordering of their first argument.
+_TRANSPARENT_WRAPPERS = frozenset({"enumerate", "list", "tuple", "reversed"})
+
+#: Mutating method names whose receivers accumulate ordered output.
+_ACCUMULATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "put",
+        "setdefault",
+        "update",
+        "write",
+        "writelines",
+        "writerow",
+        "writerows",
+    }
+)
+
+
+def _unwrap_transparent(node: ast.AST) -> ast.AST:
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _TRANSPARENT_WRAPPERS
+        and node.args
+    ):
+        node = node.args[0]
+    return node
+
+
+def _is_unordered_expr(node: ast.AST, ctx: FileContext) -> str | None:
+    """A human label when the expression yields unordered elements."""
+    node = _unwrap_transparent(node)
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        dotted = ctx.dotted(node.func)
+        if dotted in ("set", "frozenset"):
+            return f"{dotted}(...)"
+        if dotted in ("os.listdir", "os.scandir"):
+            return f"{dotted}(...) (filesystem order)"
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "glob",
+            "rglob",
+            "iterdir",
+        ):
+            return f".{node.func.attr}(...) (filesystem order)"
+    if isinstance(node, ast.Name):
+        label = _setlike_locals(ctx).get(node.id)
+        if label is not None:
+            return label
+    return None
+
+
+def _setlike_locals(ctx: FileContext) -> dict[str, str]:
+    """Names bound (only ever) to unordered values in the enclosing scope."""
+    func = ctx.enclosing_function()
+    key = ("setlike", id(func))
+    if key in ctx.cache:
+        return ctx.cache[key]
+    scope: ast.AST = func if func is not None else ctx.tree
+    labels: dict[str, str] = {}
+    poisoned: set[str] = set()
+    for sub in ast.walk(scope):
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+            target = sub.targets[0]
+            if isinstance(target, ast.Name):
+                value = sub.value
+                label = None
+                if isinstance(value, ast.Set):
+                    label = "a set literal"
+                elif isinstance(value, ast.Call):
+                    dotted = ctx.dotted(value.func)
+                    if dotted in ("set", "frozenset"):
+                        label = f"{dotted}(...)"
+                if label is None:
+                    poisoned.add(target.id)
+                elif target.id not in labels:
+                    labels[target.id] = label
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)) and isinstance(
+            getattr(sub, "target", None), ast.Name
+        ):
+            poisoned.add(sub.target.id)
+    result = {
+        name: f"{label} (via local {name!r})"
+        for name, label in labels.items()
+        if name not in poisoned
+    }
+    ctx.cache[key] = result
+    return result
+
+
+def _accumulates(body: list[ast.stmt]) -> bool:
+    """Does the loop body build ordered output (records, keys, files)?"""
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call):
+                if (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _ACCUMULATORS
+                ):
+                    return True
+            elif isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                return True
+            elif isinstance(sub, ast.Assign):
+                if any(
+                    isinstance(t, ast.Subscript) for t in sub.targets
+                ):
+                    return True
+            elif isinstance(sub, ast.AugAssign) and isinstance(
+                sub.target, ast.Subscript
+            ):
+                return True
+    return False
+
+
+@register_rule
+class NondeterministicIterationRule(Rule):
+    name = "nondeterministic-iteration"
+    description = (
+        "unordered iteration (set / unsorted directory listing) while "
+        "building ordered output"
+    )
+    scope = RuleScope(include=("src/repro/*",))
+    node_types = (ast.For, ast.AsyncFor, ast.ListComp, ast.DictComp)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            label = _is_unordered_expr(node.iter, ctx)
+            if label is not None and _accumulates(node.body):
+                yield Finding(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"loop over {label} accumulates ordered output; "
+                        "set/filesystem order is not stable across "
+                        "processes — wrap the iterable in sorted(...)"
+                    ),
+                )
+            return
+        for comp in node.generators:
+            label = _is_unordered_expr(comp.iter, ctx)
+            if label is not None:
+                kind = (
+                    "list" if isinstance(node, ast.ListComp) else "dict"
+                )
+                yield Finding(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{kind} comprehension over {label}: the result "
+                        "order is not stable across processes — wrap "
+                        "the iterable in sorted(...)"
+                    ),
+                )

@@ -1,0 +1,340 @@
+"""The lint engine: one AST walk per file, rules dispatched by node type.
+
+:func:`run_lint` is the single entry point (the CLI's ``repro lint``
+and the test-suite gates both call it): discover files, parse each one
+once, walk its tree once dispatching nodes to every in-scope file
+rule, apply inline suppressions, then run the project-level rules
+(the stage-version lockfile check).
+
+Suppressions are inline comments::
+
+    expr()  # repro: allow[rule-id] -- why this is legitimate
+
+or a standalone comment on the line directly above the finding.  The
+reason after ``--`` is mandatory; a reason-less or unknown-rule
+suppression is itself reported (rule ``bad-suppression``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .rules import (
+    FileContext,
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    RuleScope,
+    all_rules,
+    get_rule,
+    rule_names,
+)
+
+#: The suppression-comment format (see the module docstring); the
+#: mandatory reason is enforced in parse_suppressions, not the regex.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?"
+)
+
+_RULE_ID_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    rules: tuple[str, ...]
+    reason: str
+    standalone: bool  # comment-only line (covers the line below too)
+
+
+@dataclass
+class LintConfig:
+    """Engine configuration.
+
+    Attributes:
+        repo_root: paths in findings and scope matching are relative to
+            this directory (default: the src-layout repo root).
+        lock_path: the stage_versions.lock location.
+        scopes: per-rule scope overrides (rule name -> RuleScope);
+            unlisted rules keep their class default.
+    """
+
+    repo_root: Path | None = None
+    lock_path: Path | None = None
+    scopes: dict[str, RuleScope] = field(default_factory=dict)
+
+    def resolved_repo_root(self) -> Path:
+        if self.repo_root is not None:
+            return Path(self.repo_root).resolve()
+        from .versions import default_lock_path
+
+        return default_lock_path().parent
+
+    def resolved_lock_path(self) -> Path:
+        if self.lock_path is not None:
+            return Path(self.lock_path)
+        from .versions import default_lock_path
+
+        return default_lock_path()
+
+    def scope_for(self, rule: Rule) -> RuleScope:
+        return self.scopes.get(rule.name, rule.scope)
+
+
+@dataclass
+class LintResult:
+    """What one lint invocation produced.
+
+    ``findings`` are the live (unsuppressed) problems; ``suppressed``
+    carries the inline-waived ones for ``--show-suppressed`` style
+    reporting.
+    """
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files_checked: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def parse_suppressions(
+    source: str, rel: str, known_rules: set[str]
+) -> tuple[dict[int, Suppression], list[Finding]]:
+    """Per-line suppressions from real comment tokens (never strings)."""
+    suppressions: dict[int, Suppression] = {}
+    findings: list[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return suppressions, findings
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        line, col = tok.start
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        reason = match.group("reason")
+        bad = [i for i in ids if not _RULE_ID_RE.match(i) or i not in known_rules]
+        if not ids or bad:
+            findings.append(
+                Finding(
+                    rule="bad-suppression",
+                    path=rel,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"unknown rule id(s) in suppression: {', '.join(bad)}"
+                        if bad
+                        else "suppression names no rule: repro: allow[rule-id]"
+                    ),
+                )
+            )
+            continue
+        if not reason:
+            findings.append(
+                Finding(
+                    rule="bad-suppression",
+                    path=rel,
+                    line=line,
+                    col=col,
+                    message=(
+                        "suppression needs a reason: "
+                        "# repro: allow[" + ", ".join(ids) + "] -- <why>"
+                    ),
+                )
+            )
+            continue
+        standalone = source.splitlines()[line - 1][:col].strip() == ""
+        suppressions[line] = Suppression(ids, reason, standalone)
+    return suppressions, findings
+
+
+def _apply_suppressions(
+    findings: list[Finding], suppressions: dict[int, Suppression]
+) -> tuple[list[Finding], list[Finding]]:
+    live: list[Finding] = []
+    waived: list[Finding] = []
+    for finding in findings:
+        sup = suppressions.get(finding.line)
+        if sup is None or finding.rule not in sup.rules:
+            above = suppressions.get(finding.line - 1)
+            sup = (
+                above
+                if above is not None
+                and above.standalone
+                and finding.rule in above.rules
+                else None
+            )
+        if sup is None:
+            live.append(finding)
+        else:
+            waived.append(
+                Finding(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message,
+                    suppressed=True,
+                    suppress_reason=sup.reason,
+                )
+            )
+    return live, waived
+
+
+def _discover(paths: list[Path]) -> list[Path]:
+    files: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def _walk_file(
+    ctx: FileContext, rules: list[Rule], findings: list[Finding]
+) -> None:
+    by_type: dict[type, list[Rule]] = {}
+    for rule in rules:
+        for node_type in rule.node_types:
+            by_type.setdefault(node_type, []).append(rule)
+
+    def dispatch(node: ast.AST) -> None:
+        for rule in by_type.get(type(node), ()):
+            findings.extend(rule.visit(node, ctx))
+        ctx.stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            dispatch(child)
+        ctx.stack.pop()
+
+    dispatch(ctx.tree)
+
+
+def _rel_path(path: Path, repo_root: Path) -> str:
+    try:
+        return path.resolve().relative_to(repo_root).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def run_lint(
+    paths: list[Path | str],
+    *,
+    rules: list[str] | None = None,
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) with the selected rules.
+
+    Args:
+        paths: files and/or directories to walk for ``*.py`` sources.
+        rules: registry names to run (default: every registered rule).
+            Project rules run once per invocation regardless of paths.
+        config: engine configuration (repo root, lock path, scope
+            overrides).
+    """
+    config = config or LintConfig()
+    repo_root = config.resolved_repo_root()
+    selected = (
+        all_rules() if rules is None else [get_rule(name) for name in rules]
+    )
+    file_rules = [r for r in selected if isinstance(r, Rule)]
+    project_rules = [r for r in selected if isinstance(r, ProjectRule)]
+    # Suppressions are validated against the full registry, not the
+    # selected subset: a justified `allow[dense-fw-ban]` must not read
+    # as a typo just because this invocation runs other rules.
+    known = set(rule_names())
+
+    live: list[Finding] = []
+    waived: list[Finding] = []
+    files = _discover([Path(p) for p in paths])
+    for path in files:
+        rel = _rel_path(path, repo_root)
+        source = path.read_text()
+        applicable = [
+            r for r in file_rules if config.scope_for(r).matches(rel)
+        ]
+        suppressions, bad = parse_suppressions(source, rel, known)
+        file_findings: list[Finding] = list(bad)
+        if applicable:
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                live.append(
+                    Finding(
+                        rule="syntax-error",
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=exc.offset or 0,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+                continue
+            ctx = FileContext(path, rel, source, tree)
+            _walk_file(ctx, applicable, file_findings)
+        file_live, file_waived = _apply_suppressions(
+            file_findings, suppressions
+        )
+        live.extend(file_live)
+        waived.extend(file_waived)
+
+    if project_rules:
+        from .versions import default_package_root
+
+        project_ctx = ProjectContext(
+            repo_root=repo_root,
+            package_root=default_package_root(),
+            lock_path=config.resolved_lock_path(),
+        )
+        for rule in project_rules:
+            live.extend(rule.check(project_ctx))
+
+    live.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    waived.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=live,
+        suppressed=waived,
+        files_checked=len(files),
+        rules_run=tuple(sorted(r.name for r in selected)),
+    )
+
+
+def lint_source(
+    source: str,
+    *,
+    rules: list[str],
+    path: str = "snippet.py",
+) -> LintResult:
+    """Lint a source string with the named file rules (no scope filter).
+
+    The unit-test entry point: rule logic can be exercised on synthetic
+    snippets without touching the filesystem or the default scopes.
+    """
+    selected = [get_rule(name) for name in rules]
+    file_rules = [r for r in selected if isinstance(r, Rule)]
+    suppressions, bad = parse_suppressions(source, path, set(rule_names()))
+    findings: list[Finding] = list(bad)
+    tree = ast.parse(source)
+    ctx = FileContext(Path(path), path, source, tree)
+    _walk_file(ctx, file_rules, findings)
+    live, waived = _apply_suppressions(findings, suppressions)
+    live.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=live,
+        suppressed=waived,
+        files_checked=1,
+        rules_run=tuple(sorted(r.name for r in selected)),
+    )

@@ -1,0 +1,50 @@
+"""Lint reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """One ``path:line:col: rule: message`` line per finding + summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule}: {finding.message}"
+        )
+    if show_suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.rule}: suppressed "
+                f"({finding.suppress_reason})"
+            )
+    n = len(result.findings)
+    summary = (
+        f"{n} finding(s)" if n else "clean"
+    ) + (
+        f", {len(result.suppressed)} suppressed"
+        if result.suppressed
+        else ""
+    )
+    lines.append(
+        f"{summary}; {result.files_checked} file(s), "
+        f"{len(result.rules_run)} rule(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    doc = {
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "files_checked": result.files_checked,
+            "rules": list(result.rules_run),
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

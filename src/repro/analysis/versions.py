@@ -1,0 +1,233 @@
+"""Cache-version drift: the stage_versions.lock contract.
+
+The artifact store is content-addressed by *spec slices plus
+hand-bumped version tags* (stage ``version``, ``solver_version``,
+``KERNEL_VERSION``) — the code itself never enters a cache key.  That
+makes a missed bump silent and poisonous: change a stage's payload
+semantics without bumping its tag and every warm store keeps serving
+stale artifacts.
+
+``stage_versions.lock`` (committed at the repo root) pins, for every
+versioned component, the pair ``(version tag, fingerprint)`` where the
+fingerprint hashes the normalized AST of the component's code closure
+(see :mod:`repro.analysis.callgraph`).  The ``stage-version-drift``
+rule recomputes the fingerprints and fails when one moved while its
+version tag did not — the reviewer-time analogue of the runtime cache
+key.  ``repro lint --update-lock`` regenerates the file after a
+legitimate bump.
+
+The fingerprint is deliberately conservative: any structural change in
+the closure demands either a version bump or (for pure refactors) a
+bump anyway — retiring a cache entry costs a recompute; serving a
+stale one costs correctness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .callgraph import DefRef, ProjectIndex
+from .rules import Finding, ProjectContext, ProjectRule, register_rule
+
+LOCK_FORMAT = 1
+LOCK_NAME = "stage_versions.lock"
+UPDATE_COMMAND = "python -m repro lint --update-lock"
+
+
+@dataclass(frozen=True)
+class LockEntry:
+    """One versioned component's pinned state."""
+
+    version: str
+    fingerprint: str
+
+
+def default_lock_path() -> Path:
+    """``stage_versions.lock`` at the repo root of the src layout."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2] / LOCK_NAME
+
+
+def default_package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def read_lock(path: Path) -> dict[str, LockEntry] | None:
+    """The committed entries, or None when the lock does not exist."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return None
+    if doc.get("format") != LOCK_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported lock format {doc.get('format')!r} "
+            f"(expected {LOCK_FORMAT}); regenerate with: {UPDATE_COMMAND}"
+        )
+    return {
+        name: LockEntry(entry["version"], entry["fingerprint"])
+        for name, entry in doc["entries"].items()
+    }
+
+
+def write_lock(path: Path, entries: dict[str, LockEntry]) -> None:
+    doc = {
+        "format": LOCK_FORMAT,
+        "comment": (
+            "Pinned (version tag, code fingerprint) per cached component. "
+            f"Regenerate with: {UPDATE_COMMAND}"
+        ),
+        "entries": {
+            name: {
+                "version": entries[name].version,
+                "fingerprint": entries[name].fingerprint,
+            }
+            for name in sorted(entries)
+        },
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def _locate(fn) -> DefRef:
+    """(module, qualname) of a callable defined in the repro package."""
+    modname = fn.__module__
+    qualname = fn.__qualname__
+    if not modname.startswith("repro"):
+        raise ValueError(f"{modname}.{qualname} is not repo-local")
+    if "<locals>" in qualname:
+        raise ValueError(
+            f"{modname}.{qualname}: lockfile targets must be module-level "
+            "defs (lambdas/closures have no stable AST address)"
+        )
+    return (modname, qualname)
+
+
+def compute_entries(
+    index: ProjectIndex | None = None,
+) -> dict[str, LockEntry]:
+    """Current (version, fingerprint) for every versioned component.
+
+    Targets come from :func:`repro.exp.stages.stage_code_targets`;
+    entries that claim whole packages (the graph kernel) become opaque
+    boundaries in every *other* entry's closure, so each hash moves
+    only with the code its own version tag governs.
+    """
+    from ..exp.stages import stage_code_targets
+
+    if index is None:
+        index = ProjectIndex(default_package_root())
+    targets = stage_code_targets()
+    boundaries_all: dict[str, str] = {}
+    for name in sorted(targets):
+        for prefix in targets[name].get("packages", ()):
+            boundaries_all[prefix] = name
+    entries: dict[str, LockEntry] = {}
+    for name in sorted(targets):
+        spec = targets[name]
+        own_packages = tuple(spec.get("packages", ()))
+        roots: list[DefRef] = [_locate(fn) for fn in spec.get("functions", ())]
+        for prefix in own_packages:
+            roots.extend(index.package_defs(prefix))
+        boundaries = {
+            prefix: entry
+            for prefix, entry in boundaries_all.items()
+            if prefix not in own_packages
+        }
+        entries[name] = LockEntry(
+            version=str(spec["version"]),
+            fingerprint=index.fingerprint(roots, boundaries),
+        )
+    return entries
+
+
+def compare_lock(
+    current: dict[str, LockEntry],
+    locked: dict[str, LockEntry] | None,
+    lock_path: str,
+) -> list[Finding]:
+    """Drift findings between the computed and the committed entries."""
+
+    def finding(message: str) -> Finding:
+        return Finding(
+            rule=StageVersionDriftRule.name,
+            path=lock_path,
+            line=1,
+            col=0,
+            message=message,
+        )
+
+    if locked is None:
+        return [
+            finding(
+                f"{LOCK_NAME} is missing; generate it with: "
+                f"{UPDATE_COMMAND}"
+            )
+        ]
+    findings: list[Finding] = []
+    for name in sorted(current):
+        cur = current[name]
+        old = locked.get(name)
+        if old is None:
+            findings.append(
+                finding(
+                    f"{name}: new versioned component not in {LOCK_NAME}; "
+                    f"run: {UPDATE_COMMAND}"
+                )
+            )
+        elif cur.fingerprint != old.fingerprint and cur.version == old.version:
+            findings.append(
+                finding(
+                    f"{name}: code changed but the version tag is still "
+                    f"{cur.version!r} — a warm artifact store would keep "
+                    f"serving stale results. Bump the component's version "
+                    f"tag, then run: {UPDATE_COMMAND}"
+                )
+            )
+        elif cur != old:
+            findings.append(
+                finding(
+                    f"{name}: {LOCK_NAME} is stale (recorded version "
+                    f"{old.version!r}, current {cur.version!r}); "
+                    f"run: {UPDATE_COMMAND}"
+                )
+            )
+    for name in sorted(set(locked) - set(current)):
+        findings.append(
+            finding(
+                f"{name}: {LOCK_NAME} pins a component that no longer "
+                f"exists; run: {UPDATE_COMMAND}"
+            )
+        )
+    return findings
+
+
+def update_lock(
+    lock_path: Path | None = None, index: ProjectIndex | None = None
+) -> tuple[Path, dict[str, LockEntry]]:
+    """Recompute every fingerprint and rewrite the lockfile."""
+    path = Path(lock_path) if lock_path is not None else default_lock_path()
+    entries = compute_entries(index)
+    write_lock(path, entries)
+    return path, entries
+
+
+@register_rule
+class StageVersionDriftRule(ProjectRule):
+    name = "stage-version-drift"
+    description = (
+        "stage/solver/kernel code changed without a version-tag bump "
+        "(stale cached artifacts would survive)"
+    )
+
+    def check(self, ctx: ProjectContext) -> list[Finding]:
+        current = compute_entries(ctx.index)
+        locked = read_lock(ctx.lock_path)
+        try:
+            rel = str(ctx.lock_path.relative_to(ctx.repo_root))
+        except ValueError:
+            rel = str(ctx.lock_path)
+        return compare_lock(current, locked, rel)

@@ -508,6 +508,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        LintConfig,
+        all_rules,
+        default_lock_path,
+        render_json,
+        render_text,
+        rule_names,
+        run_lint,
+        update_lock,
+    )
+
+    if args.list_rules:
+        print("rule                          description")
+        for rule in all_rules():
+            print(f"{rule.name:28s}  {rule.description}")
+        return 0
+    lock_path = args.lock or None
+    if args.update_lock:
+        path, entries = update_lock(lock_path)
+        print(f"wrote {path} ({len(entries)} entries)")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+        unknown = sorted(set(rules) - set(rule_names()))
+        if unknown:
+            raise SystemExit(
+                f"unknown rule(s): {', '.join(unknown)}; "
+                f"registered: {', '.join(rule_names())}"
+            )
+    paths = [str(p) for p in args.paths]
+    if not paths:
+        # Default to the committed layout around the lockfile: the
+        # package sources plus the tests and benchmarks that ride on
+        # its contracts (whichever of them exist here).
+        root = default_lock_path().parent
+        paths = [
+            str(root / name)
+            for name in ("src", "tests", "benchmarks")
+            if (root / name).is_dir()
+        ] or [str(root)]
+    result = run_lint(
+        paths, rules=rules, config=LintConfig(lock_path=lock_path)
+    )
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1
+
+
 def _cmd_solvers(args: argparse.Namespace) -> int:
     from .core import get_solver, solver_names
 
@@ -666,6 +718,48 @@ def build_parser() -> argparse.ArgumentParser:
                         "matrices and stretch rows")
     _add_cache_args(p)
     p.set_defaults(func=_cmd_weather)
+
+    p = sub.add_parser(
+        "lint",
+        help="static contract checks (determinism, cache versions, "
+        "kernel bans)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repo's src, "
+        "tests, and benchmarks trees)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format (default: text)",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule subset (default: every registered "
+        "rule; see --list-rules)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    p.add_argument(
+        "--update-lock", action="store_true",
+        help="recompute every code fingerprint and rewrite "
+        "stage_versions.lock (run after bumping a version tag)",
+    )
+    p.add_argument(
+        "--lock",
+        default=None,
+        help="stage_versions.lock location (default: the repo root)",
+    )
+    p.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings waived by inline "
+        "'# repro: allow[rule] -- reason' comments",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("econ", help="cost-benefit table (§8)")
     p.add_argument("--cost-per-gb", type=float, default=0.81)

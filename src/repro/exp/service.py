@@ -523,7 +523,7 @@ class SweepService:
                 # but their results are lost with this process — put
                 # their journal state back to pending so resume re-runs
                 # them (the started attempt stays counted).
-                for index in set(futures.values()):
+                for index in sorted(set(futures.values())):
                     if self.queue.record(index).status == RUNNING:
                         self.queue.mark_requeued(
                             index, error="interrupted by stop request"

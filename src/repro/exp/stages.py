@@ -441,6 +441,45 @@ STAGES: dict[str, Stage] = {
 BASE_STAGES = ("substrate", "design")
 
 
+def stage_code_targets() -> dict[str, dict]:
+    """The versioned code surface the stage-version lockfile pins.
+
+    Maps every lock entry to its hand-bumped version tag plus the code
+    it governs: ``functions`` are hashed with their transitive
+    repo-local callees, ``packages`` hash every definition under the
+    module prefix (and become opaque boundaries in *other* entries'
+    closures — see :mod:`repro.analysis.callgraph`).
+
+    For stages, the hashed surface is ``payload`` + ``run`` — exactly
+    the code whose semantics the cache key's version tag stands in
+    for.  ``records`` functions are excluded on purpose: rows re-derive
+    from stored artifacts at read time, so a records change can never
+    poison the store.  ``deps`` functions need no pinning either — the
+    key closure re-derives from them at runtime.
+    """
+    from ..core.design import get_solver, solver_names, solver_version
+
+    targets: dict[str, dict] = {}
+    for name in sorted(STAGES):
+        stage = STAGES[name]
+        targets[f"stage:{name}"] = {
+            "version": stage.version,
+            "functions": (stage.payload, stage.run),
+        }
+    for name in solver_names():
+        targets[f"solver:{name}"] = {
+            "version": solver_version(name),
+            "functions": (type(get_solver(name)).solve,),
+        }
+    from ..graph import graph_kernel_version
+
+    targets["graph:kernel"] = {
+        "version": graph_kernel_version(),
+        "packages": ("repro.graph",),
+    }
+    return targets
+
+
 def dependency_closure(spec: ExperimentSpec, name: str) -> tuple[str, ...]:
     """The stage and its transitive dependencies, dependencies first."""
     seen: list[str] = []

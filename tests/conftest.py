@@ -36,6 +36,7 @@ def make_toy_design(n: int, seed: int = 0) -> DesignInput:
     fiber = geo * rng.uniform(1.7, 2.3, (n, n))
     fiber = (fiber + fiber.T) / 2.0
     np.fill_diagonal(fiber, 0.0)
+    # repro: allow[dense-fw-ban] -- fixture builds the fiber metric closure without importing the kernel under test
     fiber = shortest_path(fiber, method="FW", directed=False)
     h = np.outer(pops, pops).astype(float)
     np.fill_diagonal(h, 0.0)
